@@ -1,0 +1,84 @@
+// Command dacrelease plays the data holder's side of the threat model: it
+// trains a classifier on (synthetic) private data using the third-party
+// pipeline — which happens to be malicious — quantizes it, and writes the
+// released model file an adversary would later obtain.
+//
+//	dacrelease -model released.bin [-truth dir] [-lambda 10] [-bits 4]
+//
+// With -truth, the ground-truth encoding targets are also saved as PGM
+// files so the extraction can be scored afterwards (evaluation aid only;
+// the adversary never sees them).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/modelio"
+	"repro/internal/nn"
+)
+
+func main() {
+	modelPath := flag.String("model", "released.bin", "output model file")
+	truthDir := flag.String("truth", "", "optional directory for ground-truth target PGMs")
+	lambda := flag.Float64("lambda", 10, "correlation rate for the encoding group")
+	bits := flag.Int("bits", 4, "quantization bit width")
+	epochs := flag.Int("epochs", 15, "training epochs")
+	n := flag.Int("n", 800, "dataset size")
+	seed := flag.Int64("seed", 7, "seed")
+	flag.Parse()
+
+	data := dataset.SyntheticCIFAR(dataset.CIFARConfig{
+		N: *n, Classes: 10, H: 12, W: 12, Seed: *seed,
+		ContrastStd: 0.32, NoiseStd: 25, TemplateShare: 0.6,
+	})
+	arch := nn.ResNetConfig{
+		InC: 1, InH: 12, InW: 12, Classes: 10,
+		Widths: []int{6, 12, 24}, Blocks: []int{2, 2, 2}, Seed: 1,
+	}
+	res := core.Run(core.Config{
+		Data: data, ModelCfg: arch,
+		GroupBounds: []int{5, 9},
+		Lambdas:     []float64{0, 0, *lambda},
+		WindowLen:   5,
+		Epochs:      *epochs, BatchSize: 32, LR: 0.05, Momentum: 0.9, ClipNorm: 5,
+		Quant: core.QuantTargetCorrelated, Bits: *bits,
+		FineTuneEpochs: 3, KeepRegDuringFineTune: true,
+		Seed: *seed, Log: os.Stderr,
+	})
+
+	rm, err := modelio.Export(res.Model, arch, res.Applied)
+	if err != nil {
+		fatal(err)
+	}
+	if err := modelio.Save(*modelPath, rm); err != nil {
+		fatal(err)
+	}
+	size := modelio.Size(rm)
+	fmt.Printf("released %s: test accuracy %.2f%%, %d images embedded\n",
+		*modelPath, 100*res.TestAcc, res.Plan.TotalImages())
+	fmt.Printf("storage: %d bytes (%.1fx smaller than raw %d bytes)\n",
+		size.TotalBytes(), size.Ratio(), size.RawBytes)
+
+	if *truthDir != "" {
+		if err := os.MkdirAll(*truthDir, 0o755); err != nil {
+			fatal(err)
+		}
+		for i, im := range res.Plan.AllImages() {
+			path := filepath.Join(*truthDir, fmt.Sprintf("truth_%03d.pgm", i))
+			if err := im.SavePNM(path); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("wrote %d ground-truth targets to %s\n", res.Plan.TotalImages(), *truthDir)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dacrelease:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Command dacrepro regenerates the paper's tables and figures. Usage:
+//
+//	dacrepro [flags] <experiment>...
+//
+// where each experiment is one of: table1 table2 table3 table4 fig2 fig3
+// fig4 fig5 ablations all. Runs within one invocation share trained models
+// through an in-process cache (Fig 4, for example, reuses Table I and
+// Table III models).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "global experiment seed")
+	quick := flag.Bool("quick", false, "shrunken datasets and epochs (smoke test)")
+	verbose := flag.Bool("v", false, "log per-run training progress")
+	outDir := flag.String("outdir", "", "directory for image artifacts (fig5)")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: dacrepro [flags] {table1|table2|table3|table4|fig2|fig3|fig4|fig5|ablations|all}...")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	env := experiments.NewEnv(*seed, *quick, os.Stdout)
+	if *verbose {
+		env.Log = os.Stderr
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "dacrepro: %v\n", err)
+			os.Exit(1)
+		}
+		env.OutDir = *outDir
+	}
+
+	all := map[string]func(){
+		"table1":    func() { experiments.Table1(env) },
+		"table2":    func() { experiments.Table2(env) },
+		"table3":    func() { experiments.Table3(env) },
+		"table4":    func() { experiments.Table4(env) },
+		"fig2":      func() { experiments.Fig2(env) },
+		"fig3":      func() { experiments.Fig3(env) },
+		"fig4":      func() { experiments.Fig4(env) },
+		"fig5":      func() { experiments.Fig5(env) },
+		"ablations": func() { runAblations(env) },
+		"pruning":   func() { experiments.AblationPruning(env) },
+	}
+	order := []string{"table1", "table2", "table3", "table4", "fig2", "fig3", "fig4", "fig5", "ablations"}
+
+	for _, name := range args {
+		if name == "all" {
+			for _, n := range order {
+				fmt.Printf("### %s\n\n", n)
+				all[n]()
+			}
+			continue
+		}
+		f, ok := all[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dacrepro: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Printf("### %s\n\n", name)
+		f()
+	}
+}
+
+func runAblations(env *experiments.Env) {
+	experiments.AblationPreprocess(env)
+	experiments.AblationLayerwise(env)
+	experiments.AblationQuantizer(env)
+	experiments.AblationFinetune(env)
+	experiments.AblationPruning(env)
+}

@@ -1,0 +1,67 @@
+// Defense: quantization as a mitigation against the vanilla attack.
+//
+// This example reproduces the observation behind the paper's Table I: the
+// original correlated-value-encoding attack (uniform rate over all weights,
+// Song et al.) is progressively destroyed by ordinary weighted-entropy
+// quantization as the bit width decreases — the released model loses
+// accuracy (the data holder would reject it) and the embedded images lose
+// quality (the adversary recovers less).
+//
+// Run with: go run ./examples/defense
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/report"
+)
+
+func main() {
+	data := dataset.SyntheticCIFAR(dataset.CIFARConfig{
+		N: 800, Classes: 10, H: 12, W: 12, Seed: 3,
+		ContrastStd: 0.32, NoiseStd: 25, TemplateShare: 0.6,
+	})
+	model := nn.ResNetConfig{
+		InC: 1, InH: 12, InW: 12, Classes: 10,
+		Widths: []int{6, 12, 24}, Blocks: []int{2, 2, 2}, Seed: 1,
+	}
+
+	table := report.NewTable(
+		"Vanilla correlation attack (lambda=5) vs weighted-entropy quantization",
+		"released model", "test accuracy", "MAPE", "recognizable")
+
+	base := core.Config{
+		Data: data, ModelCfg: model,
+		Lambdas: []float64{5}, // Eq 1: one rate over all weights
+		Epochs:  15, BatchSize: 32, LR: 0.05, Momentum: 0.9, ClipNorm: 5,
+		FineTuneEpochs: 3, Seed: 3,
+	}
+
+	for _, cfgCase := range []struct {
+		label string
+		quant core.QuantMode
+		bits  int
+	}{
+		{"full precision", core.QuantNone, 0},
+		{"8-bit WEQ", core.QuantWEQ, 8},
+		{"6-bit WEQ", core.QuantWEQ, 6},
+		{"4-bit WEQ", core.QuantWEQ, 4},
+	} {
+		cfg := base
+		cfg.Quant = cfgCase.quant
+		if cfgCase.bits > 0 {
+			cfg.Bits = cfgCase.bits
+		}
+		res := core.Run(cfg)
+		table.AddRow(cfgCase.label, report.Percent(res.TestAcc), res.Score.MeanMAPE,
+			fmt.Sprintf("%d/%d", res.Score.Recognizable, res.Score.N))
+	}
+	table.Render(os.Stdout)
+	fmt.Println("Lower bit widths degrade both the model and the stolen data:")
+	fmt.Println("existing compression acts as an (accidental) defense — until the")
+	fmt.Println("adversary ships the quantizer too (see examples/quickstart).")
+}

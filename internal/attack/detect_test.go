@@ -1,0 +1,135 @@
+package attack
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/quantize"
+)
+
+func TestGaussianDeviationOnGaussianIsLow(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sample := make([]float64, 50000)
+	for i := range sample {
+		sample[i] = rng.NormFloat64()*0.05 + 0.01
+	}
+	if s := GaussianDeviation(sample, 64); s > 0.05 {
+		t.Fatalf("Gaussian sample scored %v", s)
+	}
+}
+
+func TestGaussianDeviationOnFacePayloadIsHigh(t *testing.T) {
+	// A face-pixel payload is strongly bimodal (dark features/background
+	// vs bright skin) — nothing like a Gaussian. (A full CIFAR-like pixel
+	// pool, by contrast, is a near-Gaussian mixture; the detector's
+	// leverage there comes from the clamp spikes and bounded support of
+	// per-group payloads, exercised in TestAuditFlagsEncodedModel.)
+	d := dataset.SyntheticFaces(dataset.DefaultFaces(10, 10, 2))
+	var payload []float64
+	for _, im := range d.Images {
+		for _, p := range im.Pix {
+			payload = append(payload, 0.004*p-0.5)
+		}
+	}
+	if s := GaussianDeviation(payload, 64); s < 0.1 {
+		t.Fatalf("face payload scored only %v", s)
+	}
+}
+
+func TestGaussianDeviationEdgeCases(t *testing.T) {
+	if GaussianDeviation(nil, 64) != 0 {
+		t.Fatal("empty sample must score 0")
+	}
+	if GaussianDeviation([]float64{1, 1, 1}, 64) != 1 {
+		t.Fatal("constant sample must score 1")
+	}
+}
+
+func TestAuditFlagsEncodedModel(t *testing.T) {
+	// Benign: freshly initialized model (Kaiming-normal weights).
+	benign := nn.NewMLP("b", 144, []int{64, 32}, 10, 3)
+	repB := AuditModel(benign, []int{1, 2}, 0)
+	if repB.Suspicious {
+		t.Fatalf("benign model flagged: global %v, groups %+v", repB.Global, repB.PerGroup)
+	}
+
+	// Attacked: overwrite the last group with an affine pixel payload.
+	attacked := nn.NewMLP("a", 144, []int{64, 32}, 10, 3)
+	groups := attacked.GroupsByConvIndex([]int{1, 2})
+	d := dataset.SyntheticCIFAR(dataset.DefaultCIFAR(200, false, 4))
+	g := groups[2]
+	w := g.FlattenValues()
+	pi := 0
+	for _, im := range d.Images {
+		for _, p := range im.Pix {
+			if pi >= len(w) {
+				break
+			}
+			w[pi] = 0.004*p - 0.5
+			pi++
+		}
+	}
+	g.ScatterValues(w)
+	repA := AuditModel(attacked, []int{1, 2}, 0)
+	if !repA.Suspicious {
+		t.Fatalf("attacked model not flagged: global %v, groups %+v", repA.Global, repA.PerGroup)
+	}
+	// The flag must come from the encoding group specifically.
+	if repA.PerGroup[2].Score <= repB.PerGroup[2].Score {
+		t.Fatal("encoding group did not score above benign")
+	}
+}
+
+func TestAuditThresholdOverride(t *testing.T) {
+	m := nn.NewMLP("m", 10, nil, 2, 5)
+	rep := AuditModel(m, nil, 1e-9)
+	if !rep.Suspicious {
+		t.Fatal("near-zero threshold must flag everything")
+	}
+	if rep.Threshold != 1e-9 {
+		t.Fatalf("threshold not honored: %v", rep.Threshold)
+	}
+}
+
+func TestAuditBenignQuantizedNotFlagged(t *testing.T) {
+	// Quantization alone must not trigger the auditor: a benign model
+	// quantized with weighted entropy keeps a Gaussian-ish mass profile.
+	m := nn.NewMLP("q", 144, []int{64, 32}, 10, 6)
+	quantize.QuantizeModel(m, quantize.WeightedEntropy{}, 16)
+	rep := AuditModel(m, []int{1, 2}, 0)
+	if rep.Suspicious {
+		t.Fatalf("benign quantized model flagged: global %v, groups %+v", rep.Global, rep.PerGroup)
+	}
+}
+
+// The quantized attack evades the distributional audit — the stealth the
+// paper claims, seen from the defender's side: discretization inflates the
+// benign baseline so much that the payload's shape signal disappears.
+func TestAuditQuantizedAttackEvades(t *testing.T) {
+	attacked := nn.NewMLP("qa", 144, []int{64, 32}, 10, 7)
+	groups := attacked.GroupsByConvIndex([]int{1, 2})
+	d := dataset.SyntheticCIFAR(dataset.DefaultCIFAR(200, false, 8))
+	g := groups[2]
+	w := g.FlattenValues()
+	pi := 0
+	for _, im := range d.Images {
+		for _, p := range im.Pix {
+			if pi >= len(w) {
+				break
+			}
+			w[pi] = 0.004*p - 0.5
+			pi++
+		}
+	}
+	g.ScatterValues(w)
+	quantize.QuantizeModel(attacked, quantize.TargetCorrelated{Targets: d.Images}, 16)
+	rep := AuditModel(attacked, []int{1, 2}, 0)
+	if !rep.Quantized {
+		t.Fatal("quantized model not recognized as quantized")
+	}
+	if rep.Suspicious {
+		t.Fatalf("quantized attack unexpectedly flagged (update the stealth docs!): %+v", rep)
+	}
+}

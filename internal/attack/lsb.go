@@ -1,0 +1,113 @@
+package attack
+
+import (
+	"math"
+
+	"repro/internal/nn"
+)
+
+// The LSB encoding attack (Sec. II-B of the paper, from Song et al.)
+// replaces the low-order mantissa bits of each released float parameter
+// with payload bits. It relies entirely on parameter redundancy: any
+// quantization rewrites the mantissa wholesale and destroys the payload,
+// which is why the paper dismisses it as trivially defeated by compression.
+
+// EncodeLSB writes payload bits into the low bitsPerParam mantissa bits of
+// every element of params, in order, and returns the number of bits
+// actually written (limited by capacity or payload length). bitsPerParam
+// must be in [1, 32] — low mantissa bits of a float64, far below the
+// precision that affects accuracy at small counts.
+func EncodeLSB(params []*nn.Param, payload []byte, bitsPerParam int) int {
+	checkLSBWidth(bitsPerParam)
+	totalBits := len(payload) * 8
+	written := 0
+	mask := uint64(1)<<uint(bitsPerParam) - 1
+	for _, p := range params {
+		vd := p.Value.Data()
+		for i := range vd {
+			if written >= totalBits {
+				return written
+			}
+			var chunk uint64
+			nbits := bitsPerParam
+			if totalBits-written < nbits {
+				nbits = totalBits - written
+			}
+			for b := 0; b < nbits; b++ {
+				bitIdx := written + b
+				bit := (payload[bitIdx/8] >> uint(7-bitIdx%8)) & 1
+				chunk |= uint64(bit) << uint(bitsPerParam-1-b)
+			}
+			bits := math.Float64bits(vd[i])
+			bits = (bits &^ mask) | chunk
+			vd[i] = math.Float64frombits(bits)
+			written += nbits
+		}
+	}
+	return written
+}
+
+// DecodeLSB reads numBits payload bits back out of the parameters' low
+// mantissa bits, reversing EncodeLSB.
+func DecodeLSB(params []*nn.Param, numBits, bitsPerParam int) []byte {
+	checkLSBWidth(bitsPerParam)
+	out := make([]byte, (numBits+7)/8)
+	read := 0
+	for _, p := range params {
+		vd := p.Value.Data()
+		for i := range vd {
+			if read >= numBits {
+				return out
+			}
+			bits := math.Float64bits(vd[i])
+			nbits := bitsPerParam
+			if numBits-read < nbits {
+				nbits = numBits - read
+			}
+			for b := 0; b < nbits; b++ {
+				bit := (bits >> uint(bitsPerParam-1-b)) & 1
+				if bit != 0 {
+					bitIdx := read + b
+					out[bitIdx/8] |= 1 << uint(7-bitIdx%8)
+				}
+			}
+			read += nbits
+		}
+	}
+	return out
+}
+
+// LSBCapacityBits returns how many payload bits fit into params at the
+// given width.
+func LSBCapacityBits(params []*nn.Param, bitsPerParam int) int {
+	checkLSBWidth(bitsPerParam)
+	n := 0
+	for _, p := range params {
+		n += p.NumEl()
+	}
+	return n * bitsPerParam
+}
+
+// BitErrorRate compares two payloads bit by bit over the first numBits and
+// returns the fraction that differ — 0 for a perfect channel, ≈0.5 after
+// quantization wipes the mantissa.
+func BitErrorRate(a, b []byte, numBits int) float64 {
+	if numBits == 0 {
+		return 0
+	}
+	errs := 0
+	for i := 0; i < numBits; i++ {
+		ba := (a[i/8] >> uint(7-i%8)) & 1
+		bb := (b[i/8] >> uint(7-i%8)) & 1
+		if ba != bb {
+			errs++
+		}
+	}
+	return float64(errs) / float64(numBits)
+}
+
+func checkLSBWidth(bitsPerParam int) {
+	if bitsPerParam < 1 || bitsPerParam > 32 {
+		panic("attack: bitsPerParam must be in [1, 32]")
+	}
+}

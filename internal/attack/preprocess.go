@@ -1,0 +1,163 @@
+package attack
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/img"
+	"repro/internal/nn"
+)
+
+// Window is a per-image pixel-std interval (lo, hi), the paper's
+// candidate-set criterion.
+type Window struct {
+	Lo, Hi float64
+}
+
+// SelectWindow implements the paper's rule: std_min = ⌊std_mean⌋ and
+// std_max = std_min + d for window length d.
+func SelectWindow(d *dataset.Dataset, length float64) Window {
+	lo := math.Floor(d.StdMean())
+	return Window{Lo: lo, Hi: lo + length}
+}
+
+// Candidates returns the dataset indices inside the window (the paper's
+// candidate set S).
+func Candidates(d *dataset.Dataset, w Window) []int {
+	return d.IndicesWithStdIn(w.Lo, w.Hi)
+}
+
+// PlanGroup is one layer group's encoding assignment: which images it
+// carries and the flattened secret vector built from their pixels.
+type PlanGroup struct {
+	// GroupIndex is the index into the layer-group slice this plan was
+	// built for.
+	GroupIndex int
+	// Lambda is the group's correlation rate.
+	Lambda float64
+	// Images are the encoding targets in payload order.
+	Images []*img.Image
+	// DatasetIndices are the images' indices in the source dataset.
+	DatasetIndices []int
+	// Secret is the concatenated raw pixel payload (one image after
+	// another, channel-major within each image).
+	Secret []float64
+}
+
+// Capacity returns how many images of u pixels fit into numEl weights.
+func Capacity(numEl, u int) int {
+	if u <= 0 {
+		return 0
+	}
+	return numEl / u
+}
+
+// Plan is the full encoding assignment produced by the pre-processing step.
+type Plan struct {
+	// Window is the std window used for candidate selection.
+	Window Window
+	// Groups holds one entry per layer group (including zero-rate groups,
+	// which carry no images).
+	Groups []PlanGroup
+	// ImageGeom is the (C, H, W) geometry of every encoded image.
+	ImageGeom [3]int
+}
+
+// TotalImages returns the number of images assigned across all groups.
+func (p *Plan) TotalImages() int {
+	n := 0
+	for _, g := range p.Groups {
+		n += len(g.Images)
+	}
+	return n
+}
+
+// AllImages returns every assigned image in group order.
+func (p *Plan) AllImages() []*img.Image {
+	var out []*img.Image
+	for _, g := range p.Groups {
+		out = append(out, g.Images...)
+	}
+	return out
+}
+
+// BuildPlan performs the paper's data pre-processing (Sec. IV-A): it
+// selects the std-window candidate set, estimates per-group capacity from
+// the parameter count and image size, and randomly assigns candidate images
+// to each group with a non-zero rate. groups and lambdas are parallel; the
+// returned plan's Secret vectors are ready for NewLayerwiseReg.
+//
+// When the candidate set is smaller than the total capacity, every
+// candidate is used once (without replacement) and remaining capacity stays
+// empty, mirroring the paper's "n images randomly selected from S".
+func BuildPlan(d *dataset.Dataset, windowLen float64, groups []nn.LayerGroup, lambdas []float64, seed int64) *Plan {
+	if len(groups) != len(lambdas) {
+		panic(fmt.Sprintf("attack: %d groups, %d lambdas", len(groups), len(lambdas)))
+	}
+	w := SelectWindow(d, windowLen)
+	cand := Candidates(d, w)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(cand), func(i, j int) { cand[i], cand[j] = cand[j], cand[i] })
+
+	u := d.C * d.H * d.W
+	plan := &Plan{Window: w, ImageGeom: [3]int{d.C, d.H, d.W}}
+	next := 0
+	for gi, g := range groups {
+		pg := PlanGroup{GroupIndex: gi, Lambda: lambdas[gi]}
+		if lambdas[gi] != 0 {
+			n := Capacity(g.NumEl, u)
+			for k := 0; k < n && next < len(cand); k++ {
+				di := cand[next]
+				next++
+				pg.DatasetIndices = append(pg.DatasetIndices, di)
+				pg.Images = append(pg.Images, d.Images[di])
+				pg.Secret = append(pg.Secret, d.Images[di].Pix...)
+			}
+		}
+		plan.Groups = append(plan.Groups, pg)
+	}
+	return plan
+}
+
+// Secrets returns the per-group secret vectors, parallel to the groups the
+// plan was built with (ready for NewLayerwiseReg).
+func (p *Plan) Secrets() [][]float64 {
+	out := make([][]float64, len(p.Groups))
+	for i, g := range p.Groups {
+		out[i] = g.Secret
+	}
+	return out
+}
+
+// Lambdas returns the per-group correlation rates.
+func (p *Plan) Lambdas() []float64 {
+	out := make([]float64, len(p.Groups))
+	for i, g := range p.Groups {
+		out[i] = g.Lambda
+	}
+	return out
+}
+
+// UniformPlan builds a single-group plan for the Eq 1 baseline attack: all
+// weights one group, images drawn from the whole dataset in order (no
+// std-window selection — the vanilla attack does no pre-processing).
+func UniformPlan(d *dataset.Dataset, group nn.LayerGroup, lambda float64, seed int64) *Plan {
+	u := d.C * d.H * d.W
+	n := Capacity(group.NumEl, u)
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(d.Len())
+	pg := PlanGroup{GroupIndex: 0, Lambda: lambda}
+	for k := 0; k < n && k < len(idx); k++ {
+		di := idx[k]
+		pg.DatasetIndices = append(pg.DatasetIndices, di)
+		pg.Images = append(pg.Images, d.Images[di])
+		pg.Secret = append(pg.Secret, d.Images[di].Pix...)
+	}
+	return &Plan{
+		Window:    Window{0, math.Inf(1)},
+		Groups:    []PlanGroup{pg},
+		ImageGeom: [3]int{d.C, d.H, d.W},
+	}
+}

@@ -1,0 +1,101 @@
+package attack
+
+import (
+	"fmt"
+
+	"repro/internal/img"
+	"repro/internal/nn"
+)
+
+// Score summarizes reconstruction quality over a set of images using the
+// paper's metrics.
+type Score struct {
+	// N is the number of image pairs scored.
+	N int
+	// MeanMAPE is the average mean-absolute-pixel-error.
+	MeanMAPE float64
+	// Recognizable counts images with MAPE < 20 (Tables I/III/IV).
+	Recognizable int
+	// Bad counts images with MAPE > 20 (Table II's criterion).
+	Bad int
+	// MeanSSIM is the average structural similarity (Table IV).
+	MeanSSIM float64
+	// SSIMOverHalf counts images with SSIM > 0.5 (Table IV).
+	SSIMOverHalf int
+	// MAPEs and SSIMs hold the per-image values, parallel to the input.
+	MAPEs []float64
+	SSIMs []float64
+}
+
+// RecognizablePercent returns Recognizable as a percentage of N.
+func (s Score) RecognizablePercent() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return 100 * float64(s.Recognizable) / float64(s.N)
+}
+
+// BadPercent returns Bad as a percentage of N.
+func (s Score) BadPercent() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return 100 * float64(s.Bad) / float64(s.N)
+}
+
+func (s Score) String() string {
+	return fmt.Sprintf("n=%d mape=%.2f recog=%d (%.1f%%) ssim=%.3f ssim>0.5=%d",
+		s.N, s.MeanMAPE, s.Recognizable, s.RecognizablePercent(), s.MeanSSIM, s.SSIMOverHalf)
+}
+
+// ScoreReconstructions compares reconstructions against originals pairwise.
+// The slices must be parallel; extra originals (capacity the decoder could
+// not fill) are ignored, matching how the paper counts only decoded images.
+func ScoreReconstructions(origs, recons []*img.Image) Score {
+	n := len(recons)
+	if len(origs) < n {
+		n = len(origs)
+	}
+	s := Score{N: n}
+	for i := 0; i < n; i++ {
+		m := img.MAPE(origs[i], recons[i])
+		ss := img.SSIM(origs[i], recons[i])
+		s.MAPEs = append(s.MAPEs, m)
+		s.SSIMs = append(s.SSIMs, ss)
+		s.MeanMAPE += m
+		s.MeanSSIM += ss
+		if m < img.BadThreshold {
+			s.Recognizable++
+		} else if m > img.BadThreshold {
+			s.Bad++
+		}
+		if ss > 0.5 {
+			s.SSIMOverHalf++
+		}
+	}
+	if n > 0 {
+		s.MeanMAPE /= float64(n)
+		s.MeanSSIM /= float64(n)
+	}
+	return s
+}
+
+// BestPolarityDecode decodes a plan group with both correlation polarities
+// and returns the better-scoring result (lower mean MAPE) along with its
+// images. This mirrors the human adversary, who looks at both candidate
+// decodes and keeps the one showing recognizable content; the |r| penalty
+// makes the trained correlation sign depend on initialization, so a
+// released model may carry either polarity.
+func BestPolarityDecode(pg PlanGroup, group nn.LayerGroup, geom [3]int, opt DecodeOptions) (Score, []*img.Image) {
+	optPos, optNeg := opt, opt
+	optPos.ForcePolarity = 1
+	optNeg.ForcePolarity = -1
+	pos := DecodeGroup(pg, group, geom, optPos)
+	neg := DecodeGroup(pg, group, geom, optNeg)
+	sp := ScoreReconstructions(pg.Images, pos)
+	sn := ScoreReconstructions(pg.Images, neg)
+	if sn.N > 0 && sn.MeanMAPE < sp.MeanMAPE {
+		return sn, neg
+	}
+	return sp, pos
+}

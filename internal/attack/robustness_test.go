@@ -1,0 +1,112 @@
+package attack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/quantize"
+)
+
+// affinePayload writes θ = a·s + b into the group and returns the plan.
+func affinePayload(t *testing.T, seed int64) (PlanGroup, nn.LayerGroup, [3]int) {
+	t.Helper()
+	d := dataset.SyntheticCIFAR(dataset.DefaultCIFAR(400, false, seed))
+	m := nn.NewMLP("m", 256, []int{40}, 10, seed)
+	group := m.GroupsByConvIndex(nil)[0]
+	plan := BuildPlan(d, 6, []nn.LayerGroup{group}, []float64{5}, seed)
+	pg := plan.Groups[0]
+	flat := group.FlattenValues()
+	for i, s := range pg.Secret {
+		flat[i] = 0.004*s - 0.5
+	}
+	group.ScatterValues(flat)
+	return pg, group, plan.ImageGeom
+}
+
+// Decode quality must degrade gracefully with additive weight noise: more
+// noise, more MAPE, and small noise keeps images recognizable.
+func TestDecodeNoiseRobustness(t *testing.T) {
+	pg, group, geom := affinePayload(t, 21)
+	base := group.FlattenValues()
+	rng := rand.New(rand.NewSource(21))
+	var prevMAPE float64
+	for i, noise := range []float64{0, 0.0002, 0.002, 0.02} {
+		noisy := append([]float64(nil), base...)
+		for j := range noisy {
+			noisy[j] += rng.NormFloat64() * noise
+		}
+		group.ScatterValues(noisy)
+		score := ScoreReconstructions(pg.Images, DecodeGroup(pg, group, geom, DecodeOptions{}))
+		if i > 0 && score.MeanMAPE < prevMAPE-1 {
+			t.Fatalf("MAPE not monotone in noise: %v after %v", score.MeanMAPE, prevMAPE)
+		}
+		if noise <= 0.0002 && score.Recognizable != score.N {
+			t.Fatalf("tiny noise (%v) already broke recognizability: %d/%d", noise, score.Recognizable, score.N)
+		}
+		prevMAPE = score.MeanMAPE
+	}
+}
+
+// Quantizing an affine payload with Algorithm 1 must keep every image
+// recognizable at 4 bits, while 1-bit quantization must not (the payload
+// cannot survive in two levels).
+func TestDecodeAfterTargetCorrelatedQuantization(t *testing.T) {
+	pg, group, geom := affinePayload(t, 22)
+	base := group.FlattenValues()
+
+	q := quantize.TargetCorrelated{Targets: pg.Images}
+	for _, tc := range []struct {
+		levels   int
+		wantGood bool
+	}{
+		{16, true}, {2, false},
+	} {
+		w := append([]float64(nil), base...)
+		cb := q.Fit(w[:len(pg.Secret)], tc.levels)
+		for i := range w[:len(pg.Secret)] {
+			w[i] = cb.Quantize(w[i])
+		}
+		group.ScatterValues(w)
+		score := ScoreReconstructions(pg.Images, DecodeGroup(pg, group, geom, DecodeOptions{}))
+		good := score.Recognizable == score.N && score.MeanMAPE < 15
+		if good != tc.wantGood {
+			t.Fatalf("%d levels: recognizable %d/%d MAPE %.1f, wantGood=%v",
+				tc.levels, score.Recognizable, score.N, score.MeanMAPE, tc.wantGood)
+		}
+	}
+}
+
+// Property: the moment-matching decode is invariant to any positive affine
+// transform of the carrier weights (scale and offset cancel).
+func TestDecodeAffineInvarianceProperty(t *testing.T) {
+	pg, group, geom := affinePayload(t, 23)
+	base := group.FlattenValues()
+	opt := DecodeOptions{TargetMean: 128, TargetStd: 52, ForcePolarity: 1}
+	ref := DecodeGroup(pg, group, geom, opt)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := 0.1 + rng.Float64()*5
+		b := rng.NormFloat64() * 3
+		w := make([]float64, len(base))
+		for i, v := range base {
+			w[i] = a*v + b
+		}
+		group.ScatterValues(w)
+		got := DecodeGroup(pg, group, geom, opt)
+		for i := range ref {
+			for j := range ref[i].Pix {
+				if diff := ref[i].Pix[j] - got[i].Pix[j]; diff > 1e-6 || diff < -1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	defer group.ScatterValues(base)
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package attack
+
+import (
+	"repro/internal/nn"
+)
+
+// SignEncodingReg is the sign encoding attack (Sec. II-B, from Song et
+// al.): a penalty term pushes each carrier weight's sign bit to match one
+// payload bit,
+//
+//	P(θ, s) = (λ/ℓ) · Σ max(0, −θ_i·s_i),   s_i ∈ {−1, +1}
+//
+// so each parameter stores exactly one bit. Implemented as a
+// train.Regularizer over the model's weight parameters in forward order.
+type SignEncodingReg struct {
+	// Lambda is the penalty rate.
+	Lambda float64
+	// Bits is the payload; bit i is carried by the i-th weight element.
+	Bits []byte
+	// NumBits is the payload length in bits.
+	NumBits int
+}
+
+// NewSignEncodingReg builds the regularizer for a byte payload.
+func NewSignEncodingReg(lambda float64, payload []byte) *SignEncodingReg {
+	return &SignEncodingReg{Lambda: lambda, Bits: payload, NumBits: len(payload) * 8}
+}
+
+// Apply implements train.Regularizer.
+func (r *SignEncodingReg) Apply(m *nn.Model) float64 {
+	if r.Lambda == 0 || r.NumBits == 0 {
+		return 0
+	}
+	penalty := 0.0
+	scale := r.Lambda / float64(r.NumBits)
+	bit := 0
+	for _, p := range m.WeightParams() {
+		if bit >= r.NumBits {
+			break
+		}
+		vd := p.Value.Data()
+		gd := p.Grad.Data()
+		for i := range vd {
+			if bit >= r.NumBits {
+				break
+			}
+			s := 1.0
+			if (r.Bits[bit/8]>>(uint(7-bit%8)))&1 == 0 {
+				s = -1.0
+			}
+			v := vd[i] * s
+			if v < 0 {
+				penalty += -v
+				gd[i] += -s * scale
+			}
+			bit++
+		}
+	}
+	return penalty * scale
+}
+
+// DecodeSignBits reads the payload back from weight signs: bit i is 1 when
+// the i-th weight element is positive.
+func DecodeSignBits(m *nn.Model, numBits int) []byte {
+	out := make([]byte, (numBits+7)/8)
+	bit := 0
+	for _, p := range m.WeightParams() {
+		if bit >= numBits {
+			break
+		}
+		for _, v := range p.Value.Data() {
+			if bit >= numBits {
+				break
+			}
+			if v > 0 {
+				out[bit/8] |= 1 << uint(7-bit%8)
+			}
+			bit++
+		}
+	}
+	return out
+}
+
+// SignCapacityBits returns the payload capacity of the sign channel: one
+// bit per weight element.
+func SignCapacityBits(m *nn.Model) int {
+	return m.NumWeightParams()
+}

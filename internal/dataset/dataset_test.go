@@ -1,0 +1,278 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSyntheticCIFARBasics(t *testing.T) {
+	d := SyntheticCIFAR(DefaultCIFAR(200, false, 1))
+	if d.Len() != 200 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if d.C != 1 || d.H != 16 || d.W != 16 {
+		t.Fatalf("geometry %dx%dx%d", d.C, d.H, d.W)
+	}
+	counts := make([]int, d.Classes)
+	for _, l := range d.Labels {
+		counts[l]++
+	}
+	for c, n := range counts {
+		if n != 20 {
+			t.Fatalf("class %d has %d samples, want 20", c, n)
+		}
+	}
+	for _, im := range d.Images {
+		for _, v := range im.Pix {
+			if v < 0 || v > 255 {
+				t.Fatalf("pixel %v out of range", v)
+			}
+		}
+	}
+}
+
+func TestSyntheticCIFARRGB(t *testing.T) {
+	d := SyntheticCIFAR(DefaultCIFAR(50, true, 2))
+	if d.C != 3 {
+		t.Fatalf("RGB dataset has %d channels", d.C)
+	}
+	if d.Images[0].NumPix() != 3*16*16 {
+		t.Fatalf("NumPix = %d", d.Images[0].NumPix())
+	}
+}
+
+func TestSyntheticCIFARDeterministic(t *testing.T) {
+	a := SyntheticCIFAR(DefaultCIFAR(30, false, 7))
+	b := SyntheticCIFAR(DefaultCIFAR(30, false, 7))
+	for i := range a.Images {
+		for j := range a.Images[i].Pix {
+			if a.Images[i].Pix[j] != b.Images[i].Pix[j] {
+				t.Fatal("generator not deterministic")
+			}
+		}
+	}
+	c := SyntheticCIFAR(DefaultCIFAR(30, false, 8))
+	same := true
+	for j := range a.Images[0].Pix {
+		if a.Images[0].Pix[j] != c.Images[0].Pix[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+// The paper's pre-processing depends on a wide per-image std spectrum with
+// a mean near 50 (Fig 2b uses bands [30,35], [50,55], [70,75]). Verify the
+// generator is calibrated to provide that.
+func TestSyntheticCIFARStdSpectrum(t *testing.T) {
+	d := SyntheticCIFAR(DefaultCIFAR(1000, false, 3))
+	mean := d.StdMean()
+	if mean < 40 || mean > 62 {
+		t.Fatalf("std mean = %v, want ≈50", mean)
+	}
+	low := d.IndicesWithStdIn(30, 35)
+	mid := d.IndicesWithStdIn(50, 55)
+	high := d.IndicesWithStdIn(70, 75)
+	if len(low) < 10 || len(mid) < 30 || len(high) < 5 {
+		t.Fatalf("std bands too thin: low %d mid %d high %d", len(low), len(mid), len(high))
+	}
+}
+
+// Images in different std bands must have visibly different pixel-value
+// distributions (Fig 2b's observation).
+func TestStdBandsHaveDistinctDistributions(t *testing.T) {
+	d := SyntheticCIFAR(DefaultCIFAR(1000, false, 4))
+	lowIdx := d.IndicesWithStdIn(30, 35)
+	highIdx := d.IndicesWithStdIn(70, 75)
+	if len(lowIdx) == 0 || len(highIdx) == 0 {
+		t.Skip("bands empty at this seed")
+	}
+	var lowPix, highPix []float64
+	for _, i := range lowIdx {
+		lowPix = append(lowPix, d.Images[i].Pix...)
+	}
+	for _, i := range highIdx {
+		highPix = append(highPix, d.Images[i].Pix...)
+	}
+	lowStd := stdOf(lowPix)
+	highStd := stdOf(highPix)
+	if highStd-lowStd < 15 {
+		t.Fatalf("band distributions too similar: low std %v high std %v", lowStd, highStd)
+	}
+}
+
+func TestSplitPreservesBalanceAndSize(t *testing.T) {
+	d := SyntheticCIFAR(DefaultCIFAR(300, false, 5))
+	train, test := d.Split(0.2)
+	if train.Len()+test.Len() != 300 {
+		t.Fatalf("split sizes %d + %d != 300", train.Len(), test.Len())
+	}
+	if test.Len() < 50 || test.Len() > 70 {
+		t.Fatalf("test size %d, want ≈60", test.Len())
+	}
+	counts := make([]int, d.Classes)
+	for _, l := range test.Labels {
+		counts[l]++
+	}
+	for c, n := range counts {
+		if n == 0 {
+			t.Fatalf("class %d missing from test split", c)
+		}
+	}
+}
+
+func TestSplitBadFractionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SyntheticCIFAR(DefaultCIFAR(10, false, 6)).Split(1.5)
+}
+
+func TestTensorsNormalization(t *testing.T) {
+	d := SyntheticCIFAR(DefaultCIFAR(20, false, 9))
+	x, y := d.Tensors()
+	if x.Dim(0) != 20 || x.Dim(1) != 256 {
+		t.Fatalf("tensor shape %v", x.Shape())
+	}
+	if len(y) != 20 {
+		t.Fatalf("labels %d", len(y))
+	}
+	if x.Min() < 0 || x.Max() > 1 {
+		t.Fatalf("normalized range [%v, %v]", x.Min(), x.Max())
+	}
+	if x.At(0, 0) != d.Images[0].Pix[0]/255.0 {
+		t.Fatal("normalization mismatch")
+	}
+}
+
+func TestGrayConversion(t *testing.T) {
+	d := SyntheticCIFAR(DefaultCIFAR(10, true, 10))
+	g := d.Gray()
+	if g.C != 1 {
+		t.Fatalf("gray C = %d", g.C)
+	}
+	if g.Len() != d.Len() {
+		t.Fatalf("gray Len = %d", g.Len())
+	}
+	if g.Labels[3] != d.Labels[3] {
+		t.Fatal("labels must carry over")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	d := SyntheticCIFAR(DefaultCIFAR(30, false, 11))
+	s := d.Subset([]int{0, 5, 10})
+	if s.Len() != 3 {
+		t.Fatalf("subset Len = %d", s.Len())
+	}
+	if s.Images[1] != d.Images[5] {
+		t.Fatal("subset must share image pointers")
+	}
+	if s.Labels[2] != d.Labels[10] {
+		t.Fatal("subset labels wrong")
+	}
+}
+
+func TestSyntheticFacesBasics(t *testing.T) {
+	d := SyntheticFaces(DefaultFaces(10, 8, 1))
+	if d.Len() != 80 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if d.C != 1 || d.H != 24 || d.W != 24 {
+		t.Fatalf("geometry %dx%dx%d", d.C, d.H, d.W)
+	}
+	counts := make([]int, 10)
+	for _, l := range d.Labels {
+		counts[l]++
+	}
+	for c, n := range counts {
+		if n != 8 {
+			t.Fatalf("identity %d has %d samples", c, n)
+		}
+	}
+}
+
+func TestSyntheticFacesIdentityConsistency(t *testing.T) {
+	d := SyntheticFaces(DefaultFaces(5, 20, 2))
+	// Mean within-identity pixel distance should be clearly smaller than
+	// between-identity distance: identities must be learnable.
+	within, between := 0.0, 0.0
+	nw, nb := 0, 0
+	for i := 0; i < d.Len(); i++ {
+		for j := i + 1; j < d.Len() && j < i+30; j++ {
+			dist := 0.0
+			for p := range d.Images[i].Pix {
+				dd := d.Images[i].Pix[p] - d.Images[j].Pix[p]
+				dist += math.Abs(dd)
+			}
+			dist /= float64(d.Images[i].NumPix())
+			if d.Labels[i] == d.Labels[j] {
+				within += dist
+				nw++
+			} else {
+				between += dist
+				nb++
+			}
+		}
+	}
+	within /= float64(nw)
+	between /= float64(nb)
+	if between < within*1.3 {
+		t.Fatalf("identities not separable: within %v between %v", within, between)
+	}
+}
+
+func TestSyntheticFacesStructure(t *testing.T) {
+	d := SyntheticFaces(DefaultFaces(3, 2, 3))
+	for _, im := range d.Images {
+		if im.Std() < 10 {
+			t.Fatalf("face image nearly flat: std %v", im.Std())
+		}
+		for _, v := range im.Pix {
+			if v < 0 || v > 255 {
+				t.Fatalf("pixel %v out of range", v)
+			}
+		}
+	}
+}
+
+func TestSyntheticFacesDeterministic(t *testing.T) {
+	a := SyntheticFaces(DefaultFaces(4, 3, 9))
+	b := SyntheticFaces(DefaultFaces(4, 3, 9))
+	for i := range a.Images {
+		for j := range a.Images[i].Pix {
+			if a.Images[i].Pix[j] != b.Images[i].Pix[j] {
+				t.Fatal("face generator not deterministic")
+			}
+		}
+	}
+}
+
+func TestStdsMatchesImageStd(t *testing.T) {
+	d := SyntheticCIFAR(DefaultCIFAR(5, false, 12))
+	stds := d.Stds()
+	for i, s := range stds {
+		if s != d.Images[i].Std() {
+			t.Fatalf("Stds[%d] mismatch", i)
+		}
+	}
+}
+
+func stdOf(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		m += x
+	}
+	m /= float64(len(v))
+	ss := 0.0
+	for _, x := range v {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(v)))
+}

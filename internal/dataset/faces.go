@@ -1,0 +1,157 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/img"
+)
+
+// FaceConfig controls the synthetic face generator (the FaceScrub
+// substitute; see DESIGN.md §2).
+type FaceConfig struct {
+	// Identities is the number of distinct people (classes).
+	Identities int
+	// PerIdentity is the number of samples per identity.
+	PerIdentity int
+	// H, W give the crop geometry (default 24×24 grayscale).
+	H, W int
+	// Seed fixes the generator.
+	Seed int64
+}
+
+// DefaultFaces returns the configuration used for the face-recognition
+// experiments.
+func DefaultFaces(identities, perIdentity int, seed int64) FaceConfig {
+	return FaceConfig{Identities: identities, PerIdentity: perIdentity, H: 24, W: 24, Seed: seed}
+}
+
+// identity holds the per-person geometry of the parametric face.
+type identity struct {
+	faceRX, faceRY   float64 // face ellipse radii (fractions of half-size)
+	eyeDX, eyeY      float64 // eye horizontal offset and vertical position
+	eyeR             float64 // eye radius
+	browTilt         float64 // eyebrow slope
+	mouthY, mouthW   float64 // mouth position and width
+	mouthCurve       float64 // smile curvature (signed)
+	noseLen          float64
+	skin             float64 // base skin tone
+	hairDrop, hairSh float64 // hairline height and darkness
+}
+
+// SyntheticFaces generates a deterministic face-like dataset. Each identity
+// is a parameter vector of a procedural face (ellipse head with shading,
+// eyes, eyebrows, nose, mouth, hairline); samples jitter the geometry and
+// illumination and add sensor noise. The rendered faces have enough
+// structure that SSIM meaningfully separates good from bad reconstructions,
+// which is what Fig 5 / Table IV need.
+func SyntheticFaces(cfg FaceConfig) *Dataset {
+	if cfg.Identities <= 0 || cfg.PerIdentity <= 0 {
+		panic(fmt.Sprintf("dataset: bad face config %+v", cfg))
+	}
+	if cfg.H == 0 {
+		cfg.H = 24
+	}
+	if cfg.W == 0 {
+		cfg.W = 24
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ids := make([]identity, cfg.Identities)
+	for i := range ids {
+		ids[i] = identity{
+			faceRX:     0.62 + rng.Float64()*0.22,
+			faceRY:     0.78 + rng.Float64()*0.16,
+			eyeDX:      0.26 + rng.Float64()*0.14,
+			eyeY:       -0.18 - rng.Float64()*0.14,
+			eyeR:       0.06 + rng.Float64()*0.05,
+			browTilt:   (rng.Float64() - 0.5) * 0.5,
+			mouthY:     0.38 + rng.Float64()*0.16,
+			mouthW:     0.24 + rng.Float64()*0.18,
+			mouthCurve: (rng.Float64() - 0.35) * 0.5,
+			noseLen:    0.18 + rng.Float64()*0.14,
+			skin:       150 + rng.Float64()*70,
+			hairDrop:   0.55 + rng.Float64()*0.25,
+			hairSh:     0.25 + rng.Float64()*0.4,
+		}
+	}
+	d := &Dataset{Name: "synth-faces", Classes: cfg.Identities, C: 1, H: cfg.H, W: cfg.W}
+	for id := 0; id < cfg.Identities; id++ {
+		for s := 0; s < cfg.PerIdentity; s++ {
+			d.Images = append(d.Images, renderFace(ids[id], cfg.H, cfg.W, rng))
+			d.Labels = append(d.Labels, id)
+		}
+	}
+	// Interleave identities so Split keeps class balance.
+	perm := rng.Perm(d.Len())
+	images := make([]*img.Image, d.Len())
+	labels := make([]int, d.Len())
+	for i, p := range perm {
+		images[i] = d.Images[p]
+		labels[i] = d.Labels[p]
+	}
+	d.Images, d.Labels = images, labels
+	return d
+}
+
+// renderFace rasterizes one jittered sample of an identity.
+func renderFace(id identity, h, w int, rng *rand.Rand) *img.Image {
+	im := img.New(1, h, w)
+	// Per-sample jitter.
+	jx := rng.NormFloat64() * 0.03
+	jy := rng.NormFloat64() * 0.03
+	light := rng.NormFloat64() * 0.25 // illumination gradient strength
+	lightDir := rng.Float64()*2 - 1   // left-right direction
+	gain := 1 + rng.NormFloat64()*0.08
+	noise := 5.0
+
+	halfH := float64(h) / 2
+	halfW := float64(w) / 2
+	for py := 0; py < h; py++ {
+		for px := 0; px < w; px++ {
+			// Normalized coords in [-1, 1], jittered.
+			x := (float64(px)+0.5)/halfW - 1 + jx
+			y := (float64(py)+0.5)/halfH - 1 + jy
+			v := 40.0 // background
+			// Face ellipse with radial shading.
+			fx := x / id.faceRX
+			fy := y / id.faceRY
+			r2 := fx*fx + fy*fy
+			if r2 <= 1 {
+				shade := 1 - 0.35*r2
+				v = id.skin * shade * gain
+				// Illumination gradient.
+				v *= 1 + light*lightDir*x
+				// Hairline: darken everything above the drop.
+				if y < -id.hairDrop {
+					v *= id.hairSh
+				}
+				// Eyes.
+				for _, side := range []float64{-1, 1} {
+					dx := x - side*id.eyeDX
+					dy := y - id.eyeY
+					if dx*dx+dy*dy*1.8 < id.eyeR*id.eyeR {
+						v = 30
+					}
+					// Eyebrows: thin dark band above each eye.
+					by := id.eyeY - 2.2*id.eyeR - side*id.browTilt*dx
+					if math.Abs(y-by) < 0.045 && math.Abs(dx) < id.eyeR*2.2 {
+						v *= 0.45
+					}
+				}
+				// Nose: vertical darker ridge.
+				if math.Abs(x) < 0.035 && y > id.eyeY && y < id.eyeY+id.noseLen {
+					v *= 0.82
+				}
+				// Mouth: curved dark band.
+				my := id.mouthY + id.mouthCurve*(x/id.mouthW)*(x/id.mouthW)
+				if math.Abs(y-my) < 0.05 && math.Abs(x) < id.mouthW {
+					v = 55
+				}
+			}
+			v += rng.NormFloat64() * noise
+			im.Set(clamp255(v), 0, py, px)
+		}
+	}
+	return im
+}

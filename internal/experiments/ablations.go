@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// AblationResult compares a design choice on/off at λ = 10, 4 bits, gray.
+type AblationResult struct {
+	Name     string
+	Variants []AblationVariant
+}
+
+// AblationVariant is one arm of an ablation.
+type AblationVariant struct {
+	Label        string
+	Accuracy     float64
+	MAPE         float64
+	Recognizable int
+	Total        int
+}
+
+func (e *Env) ablationVariant(label, key string, cfg core.Config) AblationVariant {
+	r := e.run(key, cfg)
+	return AblationVariant{
+		Label:        label,
+		Accuracy:     r.TestAcc,
+		MAPE:         r.Score.MeanMAPE,
+		Recognizable: r.Score.Recognizable,
+		Total:        r.Score.N,
+	}
+}
+
+// AblationPreprocess isolates the std-window pre-processing: the proposed
+// flow with and without target selection (without = targets drawn
+// uniformly from the training set).
+func AblationPreprocess(e *Env) AblationResult {
+	d := e.CIFARGray()
+	model := e.cifarModel(1)
+	on := e.proposedCfg(d, model, 10, core.QuantTargetCorrelated, 4)
+	off := on
+	off.WindowLen = 0 // uniform target draw
+	res := AblationResult{Name: "std-window pre-processing", Variants: []AblationVariant{
+		e.ablationVariant("window [mean, mean+5]", "proposed-gray-l10-tcq4", on),
+		e.ablationVariant("no pre-processing", "ablate-nopre-gray-l10-tcq4", off),
+	}}
+	renderAblation(e, res)
+	return res
+}
+
+// AblationLayerwise isolates the layer-wise rates: λ1=λ2=0, λ3=10 vs a
+// uniform λ=10 over all layers, both with the std window and Algorithm 1.
+func AblationLayerwise(e *Env) AblationResult {
+	d := e.CIFARGray()
+	model := e.cifarModel(1)
+	layer := e.proposedCfg(d, model, 10, core.QuantTargetCorrelated, 4)
+	uniform := layer
+	uniform.GroupBounds = groupBounds
+	uniform.Lambdas = []float64{10, 10, 10}
+	res := AblationResult{Name: "layer-wise correlation rates", Variants: []AblationVariant{
+		e.ablationVariant("lambda = (0, 0, 10)", "proposed-gray-l10-tcq4", layer),
+		e.ablationVariant("uniform lambda = 10", "ablate-uniformlam-gray-l10-tcq4", uniform),
+	}}
+	renderAblation(e, res)
+	return res
+}
+
+// AblationQuantizer holds the compression step fixed at 4 bits and swaps
+// the quantizer under the otherwise-identical proposed flow.
+func AblationQuantizer(e *Env) AblationResult {
+	d := e.CIFARGray()
+	model := e.cifarModel(1)
+	res := AblationResult{Name: "quantizer at 4 bits"}
+	for _, v := range []struct {
+		label string
+		key   string
+		mode  core.QuantMode
+	}{
+		{"target-correlated (Alg 1)", "proposed-gray-l10-tcq4", core.QuantTargetCorrelated},
+		{"weighted-entropy", "ablate-weq-gray-l10-weq4", core.QuantWEQ},
+		{"linear (deep compression)", "ablate-lin-gray-l10-lin4", core.QuantLinear},
+	} {
+		cfg := e.proposedCfg(d, model, 10, v.mode, 4)
+		res.Variants = append(res.Variants, e.ablationVariant(v.label, v.key, cfg))
+	}
+	renderAblation(e, res)
+	return res
+}
+
+// AblationFinetune isolates post-quantization fine-tuning: the proposed
+// 4-bit flow with regularized fine-tuning, benign fine-tuning, and none.
+func AblationFinetune(e *Env) AblationResult {
+	d := e.CIFARGray()
+	model := e.cifarModel(1)
+	withReg := e.proposedCfg(d, model, 10, core.QuantTargetCorrelated, 4)
+	benign := withReg
+	benign.KeepRegDuringFineTune = false
+	none := withReg
+	none.FineTuneEpochs = 0
+	res := AblationResult{Name: "post-quantization fine-tuning", Variants: []AblationVariant{
+		e.ablationVariant("fine-tune with regularizer", "proposed-gray-l10-tcq4", withReg),
+		e.ablationVariant("benign fine-tune", "ablate-ftbenign-gray-l10-tcq4", benign),
+		e.ablationVariant("no fine-tune", "ablate-ftnone-gray-l10-tcq4", none),
+	}}
+	renderAblation(e, res)
+	return res
+}
+
+func renderAblation(e *Env, res AblationResult) {
+	t := report.NewTable(fmt.Sprintf("Ablation: %s", res.Name),
+		"variant", "accuracy", "MAPE", "recognizable")
+	for _, v := range res.Variants {
+		t.AddRow(v.Label, report.Percent(v.Accuracy), v.MAPE,
+			fmt.Sprintf("%d/%d", v.Recognizable, v.Total))
+	}
+	t.Render(e.out())
+}

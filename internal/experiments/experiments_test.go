@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	sharedEnv  *Env
+	sharedOnce sync.Once
+)
+
+// quickEnv returns a shared quick-mode environment. All tests reuse one Env
+// so trained models are cached once and amortized across assertions.
+func quickEnv(t *testing.T) *Env {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiment smoke tests skipped in -short mode")
+	}
+	sharedOnce.Do(func() {
+		sharedEnv = NewEnv(1, true, &bytes.Buffer{})
+	})
+	return sharedEnv
+}
+
+func TestTable1Structure(t *testing.T) {
+	e := quickEnv(t)
+	res := Table1(e)
+	if len(res.Cells) != 7 {
+		t.Fatalf("Table I has %d cells, want 7", len(res.Cells))
+	}
+	want := []struct {
+		lambda float64
+		bits   int
+	}{{3, 8}, {3, 6}, {3, 4}, {5, 8}, {5, 6}, {5, 4}, {10, 4}}
+	for i, c := range res.Cells {
+		if c.Lambda != want[i].lambda || c.Bits != want[i].bits {
+			t.Fatalf("cell %d = (λ=%g, %d bits), want (%g, %d)", i, c.Lambda, c.Bits, want[i].lambda, want[i].bits)
+		}
+		if c.Total == 0 {
+			t.Fatalf("cell %d has no encoded images", i)
+		}
+		if c.Accuracy < 0 || c.Accuracy > 1 {
+			t.Fatalf("cell %d accuracy %v out of range", i, c.Accuracy)
+		}
+	}
+}
+
+func TestTable2Structure(t *testing.T) {
+	e := quickEnv(t)
+	res := Table2(e)
+	if len(res.Rows) != 3 {
+		t.Fatalf("Table II has %d rows", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if len(r.GroupN) != 3 {
+			t.Fatalf("row λ=%g has %d groups", r.Lambda, len(r.GroupN))
+		}
+		sum := 0
+		for _, n := range r.GroupN {
+			sum += n
+		}
+		if sum != r.Total {
+			t.Fatalf("group image counts %v do not sum to total %d", r.GroupN, r.Total)
+		}
+		for i := range r.GroupBad {
+			if r.GroupBad[i] > r.GroupN[i] {
+				t.Fatalf("group %d: %d bad of %d", i, r.GroupBad[i], r.GroupN[i])
+			}
+		}
+	}
+}
+
+func TestTable3Structure(t *testing.T) {
+	e := quickEnv(t)
+	res := Table3(e)
+	if len(res.Cols) != 12 {
+		t.Fatalf("Table III has %d columns, want 12", len(res.Cols))
+	}
+	// Per λ: first column is Ori, then 8/6/4 bits.
+	for i, c := range res.Cols {
+		wantBits := []int{0, 8, 6, 4}[i%4]
+		if c.Bits != wantBits {
+			t.Fatalf("column %d bits = %d, want %d", i, c.Bits, wantBits)
+		}
+	}
+}
+
+func TestTable4AndFig5(t *testing.T) {
+	e := quickEnv(t)
+	e.OutDir = t.TempDir()
+	res := Table4(e)
+	if len(res.Rows) != 3 {
+		t.Fatalf("Table IV has %d rows", len(res.Rows))
+	}
+	names := []string{"Uncompressed", "Proposed Quantization", "Original Quantization"}
+	for i, r := range res.Rows {
+		if r.Name != names[i] {
+			t.Fatalf("row %d name %q", i, r.Name)
+		}
+		if r.Total == 0 {
+			t.Fatalf("row %q scored no images", r.Name)
+		}
+	}
+	f5 := Fig5(e)
+	if len(f5.Proposed) == 0 || len(f5.Original) == 0 {
+		t.Fatal("Fig 5 produced no strips")
+	}
+	if len(f5.SavedFiles) == 0 {
+		t.Fatal("Fig 5 saved no artifacts despite OutDir")
+	}
+}
+
+func TestFig2Structure(t *testing.T) {
+	e := quickEnv(t)
+	res := Fig2(e)
+	for _, label := range []string{"benign", "lambda=1", "lambda=10"} {
+		if _, ok := res.WeightHists[label]; !ok {
+			t.Fatalf("missing weight histogram %q", label)
+		}
+		if _, ok := res.TV[label]; !ok {
+			t.Fatalf("missing TV distance %q", label)
+		}
+	}
+	if len(res.PixelHists) != 3 {
+		t.Fatalf("expected 3 pixel-band histograms, got %d", len(res.PixelHists))
+	}
+	// The strong attack's weight shape must be closer to the pixel shape
+	// than the benign model's.
+	if res.TV["lambda=10"] >= res.TV["benign"] {
+		t.Fatalf("λ=10 TV %v not below benign %v", res.TV["lambda=10"], res.TV["benign"])
+	}
+}
+
+func TestFig3Structure(t *testing.T) {
+	e := quickEnv(t)
+	res := Fig3(e)
+	if _, ok := res.Hists["weighted-entropy"]; !ok {
+		t.Fatal("missing WEQ histogram")
+	}
+	if _, ok := res.Hists["target-correlated"]; !ok {
+		t.Fatal("missing TCQ histogram")
+	}
+	// Algorithm 1 must preserve the attacked weight distribution better
+	// than weighted entropy (the point of Fig 3).
+	if res.TV["target-correlated"] >= res.TV["weighted-entropy"] {
+		t.Fatalf("TCQ TV %v not below WEQ %v", res.TV["target-correlated"], res.TV["weighted-entropy"])
+	}
+}
+
+func TestFig4ReusesCachedRuns(t *testing.T) {
+	e := quickEnv(t)
+	Table1(e)
+	Table3(e)
+	runsBefore := len(e.cache)
+	res := Fig4(e)
+	if len(res.Rows) != 3 {
+		t.Fatalf("Fig 4 has %d rows", len(res.Rows))
+	}
+	if len(e.cache) != runsBefore {
+		t.Fatalf("Fig 4 retrained models: cache grew %d -> %d", runsBefore, len(e.cache))
+	}
+}
+
+func TestAblationsStructure(t *testing.T) {
+	e := quickEnv(t)
+	for _, res := range []AblationResult{
+		AblationPreprocess(e),
+		AblationLayerwise(e),
+		AblationQuantizer(e),
+		AblationFinetune(e),
+	} {
+		if len(res.Variants) < 2 {
+			t.Fatalf("ablation %q has %d variants", res.Name, len(res.Variants))
+		}
+		for _, v := range res.Variants {
+			if v.Total == 0 {
+				t.Fatalf("ablation %q variant %q scored nothing", res.Name, v.Label)
+			}
+		}
+	}
+}
+
+func TestAblationPruningStructure(t *testing.T) {
+	e := quickEnv(t)
+	res := AblationPruning(e)
+	if len(res.Rows) != 5 {
+		t.Fatalf("pruning ablation has %d rows", len(res.Rows))
+	}
+	if res.Rows[0].Sparsity != 0 {
+		t.Fatal("first row must be the unpruned reference")
+	}
+	// Payload quality must not improve under 90% pruning (tolerance for
+	// quick-mode noise, where the payload is barely trained).
+	if res.Rows[4].MAPE < res.Rows[0].MAPE-6 {
+		t.Fatalf("90%% pruning improved payload: %v vs %v", res.Rows[4].MAPE, res.Rows[0].MAPE)
+	}
+	// And weights must have been restored afterwards: decoding again off
+	// the cached model must match the sparsity-0 row.
+	groups := e.cache["proposed-gray-l10-none"].Model.GroupsByConvIndex(groupBounds)
+	zeros := 0
+	for _, p := range groups[2].Params {
+		for _, v := range p.Value.Data() {
+			if v == 0 {
+				zeros++
+			}
+		}
+	}
+	if zeros > groups[2].NumEl/100 {
+		t.Fatalf("cached model left pruned: %d zeros", zeros)
+	}
+}
+
+func TestRenderedOutputMentionsExperiments(t *testing.T) {
+	e := quickEnv(t)
+	var buf bytes.Buffer
+	e.Out = &buf
+	Table1(e)
+	if !strings.Contains(buf.String(), "Table I") {
+		t.Fatal("rendered output missing table title")
+	}
+}
+
+func TestEnvDatasetsMemoized(t *testing.T) {
+	e := NewEnv(1, true, nil)
+	if e.CIFARGray() != e.CIFARGray() {
+		t.Fatal("datasets not memoized")
+	}
+	if e.CIFARGray() == e.CIFARRGB() {
+		t.Fatal("gray and RGB datasets must differ")
+	}
+}

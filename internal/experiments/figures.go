@@ -1,0 +1,308 @@
+package experiments
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/img"
+	"repro/internal/quantize"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// Fig2Result reproduces Fig 2: (a) weight distributions of benign vs
+// attacked models across correlation rates; (b) pixel distributions of
+// images in different std bands.
+type Fig2Result struct {
+	// WeightHists maps run label → weight histogram (normalized, over the
+	// symmetric range [-Range, Range]).
+	WeightHists map[string]stats.Histogram
+	Range       float64
+	// PixelHists maps std-band label → pixel histogram over [0, 255].
+	PixelHists map[string]stats.Histogram
+	// TV maps run label → total-variation distance between the model's
+	// normalized weight shape and the [50,55]-band pixel shape; the
+	// attacked models should be much closer than the benign one.
+	TV map[string]float64
+}
+
+// Fig2 trains a benign model and two uniform attack models (λ = 1, 10) and
+// compares weight distributions against the pixel distributions of std
+// bands, reproducing the paper's observation that the attack reshapes the
+// weights toward the target pixel distribution.
+func Fig2(e *Env) Fig2Result {
+	d := e.CIFARGray()
+	model := e.cifarModel(1)
+	res := Fig2Result{
+		WeightHists: map[string]stats.Histogram{},
+		PixelHists:  map[string]stats.Histogram{},
+		TV:          map[string]float64{},
+		Range:       3,
+	}
+
+	runs := []struct {
+		label  string
+		lambda float64
+	}{
+		{"benign", 0}, {"lambda=1", 1}, {"lambda=10", 10},
+	}
+	const bins = 64
+	// Reference pixel shape: the paper's [50, 55] band.
+	bandPix := map[string][]float64{}
+	for _, band := range [][2]float64{{30, 35}, {50, 55}, {70, 75}} {
+		label := fmt.Sprintf("std[%g,%g]", band[0], band[1])
+		var pix []float64
+		for _, i := range d.IndicesWithStdIn(band[0], band[1]) {
+			pix = append(pix, d.Images[i].Pix...)
+		}
+		bandPix[label] = pix
+		res.PixelHists[label] = stats.NewHistogram(pix, bins, 0, 256)
+	}
+	refPix := bandPix["std[50,55]"]
+	refHist := stats.NewHistogram(refPix, bins, 0, 256)
+
+	for _, rr := range runs {
+		var r *core.Result
+		if rr.lambda == 0 {
+			r = e.run("benign-gray", e.baseCfg(d, model))
+		} else {
+			r = e.run(fmt.Sprintf("vanilla-gray-l%g-none", rr.lambda),
+				e.vanillaCfg(d, model, rr.lambda, core.QuantNone, 4))
+		}
+		all := r.Model.GroupsByConvIndex(nil)[0]
+		w := all.FlattenValues()
+		// Standardize weights so shapes are comparable across runs, then
+		// histogram over ±Range standard deviations.
+		sum := stats.Summarize(w)
+		norm := make([]float64, len(w))
+		for i, v := range w {
+			norm[i] = (v - sum.Mean) / (sum.Std + 1e-12)
+		}
+		res.WeightHists[rr.label] = stats.NewHistogram(norm, bins, -res.Range, res.Range)
+
+		// Compare the weight shape with the pixel shape: remap weights to
+		// [0,255] and take total variation against the reference band.
+		pixView := attack.GroupWeightsAsPixels(all, 0)
+		ph := stats.NewHistogram(pixView, bins, 0, 256)
+		res.TV[rr.label] = stats.TotalVariation(ph.Freq, refHist.Freq)
+	}
+
+	w := e.out()
+	fmt.Fprintln(w, "Fig 2a: standardized weight distributions (64 bins over ±3 sigma)")
+	for _, rr := range runs {
+		h := res.WeightHists[rr.label]
+		report.Histogram(w, rr.label, h.Freq, h.Lo, h.Hi, 6)
+	}
+	fmt.Fprintln(w, "Fig 2b: pixel distributions by std band (64 bins over [0,255])")
+	for label, h := range res.PixelHists {
+		report.Histogram(w, label, h.Freq, h.Lo, h.Hi, 6)
+	}
+	labels := make([]string, 0, len(runs))
+	tvs := make([]float64, 0, len(runs))
+	for _, rr := range runs {
+		labels = append(labels, rr.label)
+		tvs = append(tvs, res.TV[rr.label])
+	}
+	report.BarChart(w, "TV distance: weight shape vs std[50,55] pixel shape (lower = more image-like)", labels, tvs, 40)
+	return res
+}
+
+// Fig3Result reproduces Fig 3: the weight distribution of a quantized
+// attack model under weighted-entropy vs target-correlated quantization at
+// 32 levels.
+type Fig3Result struct {
+	// Hists maps quantizer label → histogram of the encoding group's
+	// quantized weights.
+	Hists map[string]stats.Histogram
+	// TV maps quantizer label → total-variation distance from the
+	// unquantized attacked weight histogram (lower = better preserved).
+	TV map[string]float64
+}
+
+// Fig3 trains the proposed attack model (λ3 = 10), then quantizes its
+// encoding group to 32 levels (5 bits) with both quantizers and compares
+// the resulting weight distributions to the unquantized one.
+func Fig3(e *Env) Fig3Result {
+	d := e.CIFARGray()
+	model := e.cifarModel(1)
+	r := e.run("proposed-gray-l10-none", e.proposedCfg(d, model, 10, core.QuantNone, 4))
+
+	groups := r.Model.GroupsByConvIndex(groupBounds)
+	g3 := groups[2]
+	orig := g3.FlattenValues()
+	const bins = 64
+	sum := stats.Summarize(orig)
+	lo, hi := sum.Mean-3*sum.Std, sum.Mean+3*sum.Std
+	origHist := stats.NewHistogram(orig, bins, lo, hi)
+
+	targets := r.Plan.Groups[2].Images
+	res := Fig3Result{Hists: map[string]stats.Histogram{}, TV: map[string]float64{}}
+	for _, q := range []struct {
+		label string
+		quant quantize.Quantizer
+	}{
+		{"weighted-entropy", quantize.WeightedEntropy{}},
+		{"target-correlated", quantize.TargetCorrelated{Targets: targets}},
+	} {
+		cb := q.quant.Fit(orig, 32)
+		qw := make([]float64, len(orig))
+		for i, v := range orig {
+			qw[i] = cb.Quantize(v)
+		}
+		h := stats.NewHistogram(qw, bins, lo, hi)
+		res.Hists[q.label] = h
+		res.TV[q.label] = stats.TotalVariation(h.Freq, origHist.Freq)
+	}
+
+	w := e.out()
+	fmt.Fprintln(w, "Fig 3: encoding-group weight distributions after 32-level quantization")
+	report.Histogram(w, "unquantized attack model", origHist.Freq, lo, hi, 6)
+	report.Histogram(w, "(a) weighted-entropy quantization", res.Hists["weighted-entropy"].Freq, lo, hi, 6)
+	report.Histogram(w, "(b) target-correlated quantization", res.Hists["target-correlated"].Freq, lo, hi, 6)
+	report.BarChart(w, "TV distance from unquantized distribution (lower = shape preserved)",
+		[]string{"weighted-entropy", "target-correlated"},
+		[]float64{res.TV["weighted-entropy"], res.TV["target-correlated"]}, 40)
+	return res
+}
+
+// Fig4Row holds one correlation rate's three-way comparison.
+type Fig4Row struct {
+	Lambda float64
+	// Cor is the uncompressed vanilla attack; CorWQ adds default 4-bit
+	// weighted-entropy quantization; Comb is the proposed 4-bit flow.
+	Cor, CorWQ, Comb Fig4Point
+}
+
+// Fig4Point is one bar group of Fig 4.
+type Fig4Point struct {
+	MAPE       float64
+	Accuracy   float64
+	Recognized int
+	Total      int
+}
+
+// Fig4Result reproduces Fig 4.
+type Fig4Result struct {
+	Rows []Fig4Row
+}
+
+// Fig4 compares, for λ ∈ {3, 5, 10} on RGB data: the uncompressed vanilla
+// attack (Cor), the vanilla attack with default 4-bit weighted-entropy
+// quantization (Cor+WQ) and the proposed integrated 4-bit flow (Comb). All
+// runs are shared with Tables I and III through the Env cache.
+func Fig4(e *Env) Fig4Result {
+	d := e.CIFARRGB()
+	model := e.cifarModel(3)
+	var res Fig4Result
+	for _, lambda := range []float64{3, 5, 10} {
+		cor := e.run(fmt.Sprintf("vanilla-rgb-l%g-none", lambda),
+			e.vanillaCfg(d, model, lambda, core.QuantNone, 4))
+		corWQ := e.run(fmt.Sprintf("vanilla-rgb-l%g-weq%d", lambda, 4),
+			e.vanillaCfg(d, model, lambda, core.QuantWEQ, 4))
+		comb := e.run(fmt.Sprintf("proposed-rgb-l%g-tcq%d", lambda, 4),
+			e.proposedCfg(d, model, lambda, core.QuantTargetCorrelated, 4))
+		res.Rows = append(res.Rows, Fig4Row{
+			Lambda: lambda,
+			Cor:    fig4Point(cor),
+			CorWQ:  fig4Point(corWQ),
+			Comb:   fig4Point(comb),
+		})
+	}
+	w := e.out()
+	fmt.Fprintln(w, "Fig 4: Cor vs Cor+WQ vs Comb (RGB, 4-bit)")
+	t := report.NewTable("", "lambda", "variant", "MAPE", "accuracy", "recognized")
+	for _, row := range res.Rows {
+		for _, v := range []struct {
+			name string
+			p    Fig4Point
+		}{{"Cor", row.Cor}, {"Cor+WQ", row.CorWQ}, {"Comb", row.Comb}} {
+			t.AddRow(row.Lambda, v.name, v.p.MAPE, report.Percent(v.p.Accuracy),
+				fmt.Sprintf("%d/%d", v.p.Recognized, v.p.Total))
+		}
+	}
+	t.Render(w)
+	for _, row := range res.Rows {
+		report.BarChart(w, fmt.Sprintf("lambda=%g accuracy", row.Lambda),
+			[]string{"Cor", "Cor+WQ", "Comb"},
+			[]float64{row.Cor.Accuracy, row.CorWQ.Accuracy, row.Comb.Accuracy}, 40)
+		report.BarChart(w, fmt.Sprintf("lambda=%g recognized images", row.Lambda),
+			[]string{"Cor", "Cor+WQ", "Comb"},
+			[]float64{float64(row.Cor.Recognized), float64(row.CorWQ.Recognized), float64(row.Comb.Recognized)}, 40)
+	}
+	return res
+}
+
+func fig4Point(r *core.Result) Fig4Point {
+	return Fig4Point{
+		MAPE:       r.Score.MeanMAPE,
+		Accuracy:   r.TestAcc,
+		Recognized: r.Score.Recognizable,
+		Total:      r.Score.N,
+	}
+}
+
+// Fig5Result reproduces Fig 5: reconstructed face strips from the proposed
+// vs the original quantization at 3 bits.
+type Fig5Result struct {
+	// Proposed and Original hold the first few reconstructed faces from
+	// each quantizer; Originals holds the matching source faces.
+	Proposed, Original, Originals []*img.Image
+	// SavedFiles lists PGM artifacts written to Env.OutDir (if set).
+	SavedFiles []string
+}
+
+// Fig5 renders face strips from the Table IV runs: top row our method,
+// bottom row the original weighted-entropy quantization (plus the ground
+// truth for reference). ASCII strips go to Out; PGM files go to OutDir.
+func Fig5(e *Env) Fig5Result {
+	Table4(e) // ensure the runs exist in cache
+	prop := e.cache["face-l10-tcq3"]
+	orig := e.cache["face-l10-weq3"]
+
+	const strip = 6
+	res := Fig5Result{}
+	res.Originals = firstN(prop.Plan.AllImages(), strip)
+	res.Proposed = firstN(prop.Recon, strip)
+	res.Original = firstN(orig.Recon, strip)
+
+	w := e.out()
+	fmt.Fprintln(w, "Fig 5: reconstructed faces (3-bit quantized models)")
+	fmt.Fprintln(w, "ground truth:")
+	fmt.Fprintln(w, img.SideBySideASCII(res.Originals, 2))
+	fmt.Fprintln(w, "top row - proposed target-correlated quantization:")
+	fmt.Fprintln(w, img.SideBySideASCII(res.Proposed, 2))
+	fmt.Fprintln(w, "bottom row - original weighted-entropy quantization:")
+	fmt.Fprintln(w, img.SideBySideASCII(res.Original, 2))
+
+	if e.OutDir != "" {
+		sets := []struct {
+			name   string
+			images []*img.Image
+		}{
+			{"fig5_truth", res.Originals},
+			{"fig5_proposed", res.Proposed},
+			{"fig5_original", res.Original},
+		}
+		for _, s := range sets {
+			for i, im := range s.images {
+				path := filepath.Join(e.OutDir, fmt.Sprintf("%s_%02d.pgm", s.name, i))
+				if err := im.Clone().Clamp().SavePNM(path); err == nil {
+					res.SavedFiles = append(res.SavedFiles, path)
+				}
+			}
+		}
+		if len(res.SavedFiles) > 0 {
+			fmt.Fprintf(w, "saved %d PGM files to %s\n\n", len(res.SavedFiles), e.OutDir)
+		}
+	}
+	return res
+}
+
+func firstN(images []*img.Image, n int) []*img.Image {
+	if len(images) < n {
+		n = len(images)
+	}
+	return images[:n]
+}

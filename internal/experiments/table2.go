@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/img"
+	"repro/internal/report"
+)
+
+// Table2Row is one row of Table II: per-group bad-image counts for one
+// correlation rate.
+type Table2Row struct {
+	Lambda   float64
+	Total    int   // total encoded images
+	TotalBad int   // images with MAPE > 20
+	GroupN   []int // images that landed in each layer group
+	GroupBad []int // bad images per group
+}
+
+// Table2Result reproduces Table II: how badly encoded images distribute
+// across layer groups under the *uniform* attack, motivating the
+// layer-wise rates.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Table2 trains the vanilla uniform attack (uncompressed) at λ = 3, 5, 10
+// on grayscale data and buckets each encoded image into the layer group
+// containing its starting weight offset, then counts MAPE > 20 per group.
+func Table2(e *Env) Table2Result {
+	d := e.CIFARGray()
+	model := e.cifarModel(1)
+	u := d.C * d.H * d.W
+
+	var res Table2Result
+	for _, lambda := range []float64{3, 5, 10} {
+		key := fmt.Sprintf("vanilla-gray-l%g-none", lambda)
+		r := e.run(key, e.vanillaCfg(d, model, lambda, core.QuantNone, 4))
+
+		// Group boundaries in the flattened all-weights stream: the
+		// vanilla plan encodes one contiguous payload across the model's
+		// weight parameters in forward order, exactly the order
+		// GroupsByConvIndex flattens.
+		bounded := r.Model.GroupsByConvIndex(groupBounds)
+		cum := make([]int, len(bounded))
+		total := 0
+		for i, g := range bounded {
+			total += g.NumEl
+			cum[i] = total
+		}
+		row := Table2Row{
+			Lambda:   lambda,
+			GroupN:   make([]int, len(bounded)),
+			GroupBad: make([]int, len(bounded)),
+		}
+		for k, mape := range r.Score.MAPEs {
+			off := k * u
+			gi := len(cum) - 1
+			for i, c := range cum {
+				if off < c {
+					gi = i
+					break
+				}
+			}
+			row.GroupN[gi]++
+			row.Total++
+			if mape > img.BadThreshold {
+				row.GroupBad[gi]++
+				row.TotalBad++
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	t := report.NewTable(
+		"Table II: badly encoded images (MAPE > 20) by layer group, uniform attack",
+		"lambda", "total", "group1", "group2", "group3")
+	for _, row := range res.Rows {
+		cells := []any{row.Lambda, fmt.Sprintf("%d/%d (%.1f%%)", row.TotalBad, row.Total, pct(row.TotalBad, row.Total))}
+		for i := range row.GroupN {
+			cells = append(cells, fmt.Sprintf("%d/%d (%.1f%%)", row.GroupBad[i], row.GroupN[i], pct(row.GroupBad[i], row.GroupN[i])))
+		}
+		t.AddRow(cells...)
+	}
+	t.Render(e.out())
+	return res
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// Table3Col is one column of Table III: either the original uncompressed
+// attack model ("Ori", Bits == 0) or the proposed flow at a bit width.
+type Table3Col struct {
+	Lambda     float64
+	Bits       int // 0 = uncompressed vanilla attack ("Ori")
+	MAPEGray   float64
+	AccGray    float64
+	MAPERGB    float64
+	AccRGB     float64
+	Recognized int // RGB
+	TotalRGB   int
+}
+
+// Table3Result reproduces Table III: original uncompressed attack models
+// vs the proposed quantized attack flow across correlation rates and bit
+// widths, on both grayscale and RGB data.
+type Table3Result struct {
+	Cols []Table3Col
+}
+
+// Table3 runs, per λ ∈ {3, 5, 10}: the vanilla uncompressed attack and the
+// proposed flow (λ1=λ2=0, λ3=λ, std window, Algorithm 1 quantization with
+// regularized fine-tuning) at 8, 6 and 4 bits — each on grayscale and RGB.
+func Table3(e *Env) Table3Result {
+	dg := e.CIFARGray()
+	dr := e.CIFARRGB()
+	mg := e.cifarModel(1)
+	mr := e.cifarModel(3)
+
+	var res Table3Result
+	for _, lambda := range []float64{3, 5, 10} {
+		// "Ori": the original attack, uncompressed.
+		og := e.run(fmt.Sprintf("vanilla-gray-l%g-none", lambda),
+			e.vanillaCfg(dg, mg, lambda, core.QuantNone, 4))
+		or := e.run(fmt.Sprintf("vanilla-rgb-l%g-none", lambda),
+			e.vanillaCfg(dr, mr, lambda, core.QuantNone, 4))
+		res.Cols = append(res.Cols, Table3Col{
+			Lambda: lambda, Bits: 0,
+			MAPEGray: og.Score.MeanMAPE, AccGray: og.TestAcc,
+			MAPERGB: or.Score.MeanMAPE, AccRGB: or.TestAcc,
+			Recognized: or.Score.Recognizable, TotalRGB: or.Score.N,
+		})
+		for _, bits := range []int{8, 6, 4} {
+			pg := e.run(fmt.Sprintf("proposed-gray-l%g-tcq%d", lambda, bits),
+				e.proposedCfg(dg, mg, lambda, core.QuantTargetCorrelated, bits))
+			pr := e.run(fmt.Sprintf("proposed-rgb-l%g-tcq%d", lambda, bits),
+				e.proposedCfg(dr, mr, lambda, core.QuantTargetCorrelated, bits))
+			res.Cols = append(res.Cols, Table3Col{
+				Lambda: lambda, Bits: bits,
+				MAPEGray: pg.Score.MeanMAPE, AccGray: pg.TestAcc,
+				MAPERGB: pr.Score.MeanMAPE, AccRGB: pr.TestAcc,
+				Recognized: pr.Score.Recognizable, TotalRGB: pr.Score.N,
+			})
+		}
+	}
+
+	t := report.NewTable(
+		"Table III: original uncompressed attack (bits=Ori) vs proposed quantized flow",
+		"lambda", "bits", "MAPE(gray)", "acc(gray)", "MAPE(RGB)", "acc(RGB)", "recognized(RGB)")
+	for _, c := range res.Cols {
+		bits := "Ori"
+		if c.Bits != 0 {
+			bits = fmt.Sprintf("%d", c.Bits)
+		}
+		t.AddRow(c.Lambda, bits, c.MAPEGray, report.Percent(c.AccGray),
+			c.MAPERGB, report.Percent(c.AccRGB),
+			fmt.Sprintf("%d/%d (%.1f%%)", c.Recognized, c.TotalRGB, pct(c.Recognized, c.TotalRGB)))
+	}
+	t.Render(e.out())
+	return res
+}

@@ -1,0 +1,143 @@
+// Package img provides the image representation and quality metrics used by
+// the data-stealing experiments: per-image pixel statistics (the std
+// clustering of the paper's pre-processing step), the paper's two
+// reconstruction-quality measures — mean absolute pixel error (MAPE) and the
+// structural similarity index (SSIM) — and simple PGM/PPM/ASCII output for
+// visual inspection (the paper's Fig 5).
+package img
+
+import (
+	"fmt"
+	"math"
+)
+
+// Image is a dense raster with C channels (1 = grayscale, 3 = RGB) whose
+// pixel values live in [0, 255] as float64 (fractional values appear after
+// decoding from weights).
+type Image struct {
+	C, H, W int
+	// Pix is channel-major: Pix[c*H*W + y*W + x].
+	Pix []float64
+}
+
+// New allocates a zero image.
+func New(c, h, w int) *Image {
+	if c != 1 && c != 3 {
+		panic(fmt.Sprintf("img: unsupported channel count %d", c))
+	}
+	return &Image{C: c, H: h, W: w, Pix: make([]float64, c*h*w)}
+}
+
+// FromPixels wraps a channel-major pixel slice.
+func FromPixels(pix []float64, c, h, w int) *Image {
+	if len(pix) != c*h*w {
+		panic(fmt.Sprintf("img: %d pixels for %dx%dx%d", len(pix), c, h, w))
+	}
+	return &Image{C: c, H: h, W: w, Pix: pix}
+}
+
+// Clone returns a deep copy.
+func (im *Image) Clone() *Image {
+	out := New(im.C, im.H, im.W)
+	copy(out.Pix, im.Pix)
+	return out
+}
+
+// NumPix returns the total scalar count (C*H*W).
+func (im *Image) NumPix() int { return len(im.Pix) }
+
+// At returns the pixel value at channel c, row y, column x.
+func (im *Image) At(c, y, x int) float64 { return im.Pix[(c*im.H+y)*im.W+x] }
+
+// Set writes the pixel value at channel c, row y, column x.
+func (im *Image) Set(v float64, c, y, x int) { im.Pix[(c*im.H+y)*im.W+x] = v }
+
+// Clamp limits all pixels to [0, 255].
+func (im *Image) Clamp() *Image {
+	for i, v := range im.Pix {
+		if v < 0 {
+			im.Pix[i] = 0
+		} else if v > 255 {
+			im.Pix[i] = 255
+		}
+	}
+	return im
+}
+
+// Mean returns the mean pixel value.
+func (im *Image) Mean() float64 {
+	s := 0.0
+	for _, v := range im.Pix {
+		s += v
+	}
+	return s / float64(len(im.Pix))
+}
+
+// Std returns the population standard deviation of the pixel values — the
+// statistic the paper's pre-processing step clusters images by.
+func (im *Image) Std() float64 {
+	m := im.Mean()
+	ss := 0.0
+	for _, v := range im.Pix {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(im.Pix)))
+}
+
+// Gray converts the image to single-channel grayscale using the Rec.601
+// luma weights; a grayscale input is cloned.
+func (im *Image) Gray() *Image {
+	if im.C == 1 {
+		return im.Clone()
+	}
+	out := New(1, im.H, im.W)
+	hw := im.H * im.W
+	for i := 0; i < hw; i++ {
+		out.Pix[i] = 0.299*im.Pix[i] + 0.587*im.Pix[hw+i] + 0.114*im.Pix[2*hw+i]
+	}
+	return out
+}
+
+// Normalized returns the pixels scaled to [0, 1] as a flat slice, the
+// representation the classifier consumes.
+func (im *Image) Normalized() []float64 {
+	out := make([]float64, len(im.Pix))
+	for i, v := range im.Pix {
+		out[i] = v / 255.0
+	}
+	return out
+}
+
+// Histogram counts pixel values into `bins` equal-width buckets over
+// [0, 255], returning normalized frequencies that sum to 1.
+func (im *Image) Histogram(bins int) []float64 {
+	return HistogramOf(im.Pix, bins)
+}
+
+// HistogramOf builds a normalized histogram of values assumed to lie in
+// [0, 255]. Out-of-range values are clamped into the end buckets.
+func HistogramOf(values []float64, bins int) []float64 {
+	if bins <= 0 {
+		panic("img: histogram needs at least one bin")
+	}
+	h := make([]float64, bins)
+	if len(values) == 0 {
+		return h
+	}
+	scale := float64(bins) / 256.0
+	for _, v := range values {
+		b := int(v * scale)
+		if b < 0 {
+			b = 0
+		} else if b >= bins {
+			b = bins - 1
+		}
+		h[b]++
+	}
+	inv := 1.0 / float64(len(values))
+	for i := range h {
+		h[i] *= inv
+	}
+	return h
+}

@@ -1,0 +1,194 @@
+package img
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// WritePNM serializes the image as binary PGM (grayscale) or PPM (RGB).
+func (im *Image) WritePNM(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	magic := "P5"
+	if im.C == 3 {
+		magic = "P6"
+	}
+	if _, err := fmt.Fprintf(bw, "%s\n%d %d\n255\n", magic, im.W, im.H); err != nil {
+		return err
+	}
+	hw := im.H * im.W
+	for i := 0; i < hw; i++ {
+		for c := 0; c < im.C; c++ {
+			v := im.Pix[c*hw+i]
+			if v < 0 {
+				v = 0
+			} else if v > 255 {
+				v = 255
+			}
+			if err := bw.WriteByte(byte(v + 0.5)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// SavePNM writes the image to path in PGM/PPM format.
+func (im *Image) SavePNM(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := im.WritePNM(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// ReadPNM parses a binary PGM (P5) or PPM (P6) stream.
+func ReadPNM(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	var magic string
+	var w, h, maxV int
+	if err := scanPNMHeader(br, &magic, &w, &h, &maxV); err != nil {
+		return nil, err
+	}
+	var c int
+	switch magic {
+	case "P5":
+		c = 1
+	case "P6":
+		c = 3
+	default:
+		return nil, fmt.Errorf("img: unsupported PNM magic %q", magic)
+	}
+	if maxV != 255 {
+		return nil, fmt.Errorf("img: unsupported max value %d", maxV)
+	}
+	im := New(c, h, w)
+	hw := h * w
+	buf := make([]byte, hw*c)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("img: short PNM pixel data: %w", err)
+	}
+	for i := 0; i < hw; i++ {
+		for ch := 0; ch < c; ch++ {
+			im.Pix[ch*hw+i] = float64(buf[i*c+ch])
+		}
+	}
+	return im, nil
+}
+
+func scanPNMHeader(br *bufio.Reader, magic *string, w, h, maxV *int) error {
+	fields := 0
+	vals := [3]int{}
+	for fields < 4 {
+		tok, err := pnmToken(br)
+		if err != nil {
+			return err
+		}
+		if fields == 0 {
+			*magic = tok
+			fields++
+			continue
+		}
+		var v int
+		if _, err := fmt.Sscanf(tok, "%d", &v); err != nil {
+			return fmt.Errorf("img: bad PNM header token %q", tok)
+		}
+		vals[fields-1] = v
+		fields++
+	}
+	*w, *h, *maxV = vals[0], vals[1], vals[2]
+	return nil
+}
+
+func pnmToken(br *bufio.Reader) (string, error) {
+	var b strings.Builder
+	inComment := false
+	for {
+		ch, err := br.ReadByte()
+		if err != nil {
+			if b.Len() > 0 && err == io.EOF {
+				return b.String(), nil
+			}
+			return "", err
+		}
+		switch {
+		case inComment:
+			if ch == '\n' {
+				inComment = false
+			}
+		case ch == '#':
+			inComment = true
+		case ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r':
+			if b.Len() > 0 {
+				return b.String(), nil
+			}
+		default:
+			b.WriteByte(ch)
+		}
+	}
+}
+
+// ASCII renders the grayscale version of the image as an ASCII-art string,
+// one character per pixel, dark-to-light. Useful for eyeballing
+// reconstructions in a terminal (the repo's stand-in for the paper's Fig 5
+// face strips).
+func (im *Image) ASCII() string {
+	ramp := []byte(" .:-=+*#%@")
+	g := im.Gray()
+	var b strings.Builder
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			v := g.Pix[y*g.W+x]
+			if v < 0 {
+				v = 0
+			} else if v > 255 {
+				v = 255
+			}
+			idx := int(v / 256.0 * float64(len(ramp)))
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			b.WriteByte(ramp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SideBySideASCII renders several images in one horizontal ASCII strip with
+// a gap between them, matching Fig 5's row-of-faces layout.
+func SideBySideASCII(images []*Image, gap int) string {
+	if len(images) == 0 {
+		return ""
+	}
+	rendered := make([][]string, len(images))
+	maxH := 0
+	for i, im := range images {
+		rendered[i] = strings.Split(strings.TrimRight(im.ASCII(), "\n"), "\n")
+		if len(rendered[i]) > maxH {
+			maxH = len(rendered[i])
+		}
+	}
+	pad := strings.Repeat(" ", gap)
+	var b strings.Builder
+	for y := 0; y < maxH; y++ {
+		for i, rows := range rendered {
+			if i > 0 {
+				b.WriteString(pad)
+			}
+			if y < len(rows) {
+				b.WriteString(rows[y])
+			} else {
+				b.WriteString(strings.Repeat(" ", images[i].W))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

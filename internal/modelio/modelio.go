@@ -1,0 +1,314 @@
+// Package modelio serializes released models. It completes the paper's
+// threat-model loop: the data holder trains with the (malicious) pipeline
+// and *releases* a model file; the adversary later loads that file with no
+// access to the training process and runs extraction on its weights.
+//
+// Quantized models are stored the way deployment formats store them — a
+// per-unit codebook plus one index per weight — so the on-disk size
+// reflects the compression the paper's quantization buys.
+package modelio
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/nn"
+	"repro/internal/quantize"
+)
+
+// ParamBlob is one full-precision parameter tensor.
+type ParamBlob struct {
+	Name   string
+	Shape  []int
+	Values []float64
+}
+
+// QuantUnit is one quantized codebook scope: the shared levels and, per
+// parameter, the cluster index of every element.
+type QuantUnit struct {
+	Name       string
+	Levels     []float64
+	ParamNames []string
+	Indices    [][]uint8
+}
+
+// ReleasedModel is the serialized form of a (possibly quantized) model.
+type ReleasedModel struct {
+	// Arch rebuilds the network deterministically.
+	Arch nn.ResNetConfig
+	// Dense holds parameters stored at full precision (biases, batch-norm
+	// affine, running statistics, and unquantized weights).
+	Dense []ParamBlob
+	// Quantized holds codebook-compressed weight parameters.
+	Quantized []QuantUnit
+	// BNStats holds batch-norm running statistics by layer name.
+	BNStats []BNBlob
+}
+
+// BNBlob carries one batch-norm layer's running statistics.
+type BNBlob struct {
+	Name    string
+	RunMean []float64
+	RunVar  []float64
+}
+
+// Export captures a model (and its quantization record, if any) into a
+// serializable ReleasedModel. Only MiniResNet models (built by
+// nn.NewResNet) can be exported, since Arch must reconstruct the network.
+func Export(m *nn.Model, arch nn.ResNetConfig, applied *quantize.Applied) (*ReleasedModel, error) {
+	rm := &ReleasedModel{Arch: arch}
+	quantized := map[string]bool{}
+	if applied != nil {
+		for _, u := range applied.Units {
+			if u.Book.NumLevels() > 256 {
+				return nil, fmt.Errorf("modelio: unit %q has %d levels; index format is 8-bit", u.Name, u.Book.NumLevels())
+			}
+			qu := QuantUnit{Name: u.Name, Levels: append([]float64(nil), u.Book.Levels...)}
+			for pi, p := range u.Params {
+				idx := make([]uint8, len(u.Assign[pi]))
+				for i, k := range u.Assign[pi] {
+					idx[i] = uint8(k)
+				}
+				qu.ParamNames = append(qu.ParamNames, p.Name)
+				qu.Indices = append(qu.Indices, idx)
+				quantized[p.Name] = true
+			}
+			rm.Quantized = append(rm.Quantized, qu)
+		}
+	}
+	for _, p := range m.Params() {
+		if quantized[p.Name] {
+			continue
+		}
+		rm.Dense = append(rm.Dense, ParamBlob{
+			Name:   p.Name,
+			Shape:  append([]int(nil), p.Value.Shape()...),
+			Values: append([]float64(nil), p.Value.Data()...),
+		})
+	}
+	collectBN(m.Net, &rm.BNStats)
+	return rm, nil
+}
+
+// Import reconstructs the model from a ReleasedModel.
+func Import(rm *ReleasedModel) (*nn.Model, *quantize.Applied, error) {
+	m := nn.NewResNet(rm.Arch)
+	byName := map[string]*nn.Param{}
+	for _, p := range m.Params() {
+		byName[p.Name] = p
+	}
+	for _, blob := range rm.Dense {
+		p, ok := byName[blob.Name]
+		if !ok {
+			return nil, nil, fmt.Errorf("modelio: unknown parameter %q", blob.Name)
+		}
+		if p.NumEl() != len(blob.Values) {
+			return nil, nil, fmt.Errorf("modelio: parameter %q has %d elements, file has %d", blob.Name, p.NumEl(), len(blob.Values))
+		}
+		copy(p.Value.Data(), blob.Values)
+	}
+	var applied *quantize.Applied
+	if len(rm.Quantized) > 0 {
+		applied = &quantize.Applied{}
+		for _, qu := range rm.Quantized {
+			u := &quantize.Unit{
+				Name:      qu.Name,
+				Book:      codebookFromLevels(qu.Levels),
+				Quantizer: "imported",
+				Levels:    len(qu.Levels),
+			}
+			for pi, name := range qu.ParamNames {
+				p, ok := byName[name]
+				if !ok {
+					return nil, nil, fmt.Errorf("modelio: unknown quantized parameter %q", name)
+				}
+				if p.NumEl() != len(qu.Indices[pi]) {
+					return nil, nil, fmt.Errorf("modelio: quantized parameter %q length mismatch", name)
+				}
+				assign := make([]int, len(qu.Indices[pi]))
+				vd := p.Value.Data()
+				for i, k := range qu.Indices[pi] {
+					if int(k) >= len(qu.Levels) {
+						return nil, nil, fmt.Errorf("modelio: index %d out of range for %d levels", k, len(qu.Levels))
+					}
+					assign[i] = int(k)
+					vd[i] = qu.Levels[k]
+				}
+				u.Params = append(u.Params, p)
+				u.Assign = append(u.Assign, assign)
+			}
+			applied.Units = append(applied.Units, u)
+		}
+	}
+	if err := restoreBN(m.Net, rm.BNStats); err != nil {
+		return nil, nil, err
+	}
+	return m, applied, nil
+}
+
+// Write serializes rm to w with gob.
+func Write(w io.Writer, rm *ReleasedModel) error {
+	return gob.NewEncoder(w).Encode(rm)
+}
+
+// Read deserializes a ReleasedModel from r.
+func Read(r io.Reader) (*ReleasedModel, error) {
+	var rm ReleasedModel
+	if err := gob.NewDecoder(r).Decode(&rm); err != nil {
+		return nil, fmt.Errorf("modelio: decode: %w", err)
+	}
+	return &rm, nil
+}
+
+// Save writes the model file at path.
+func Save(path string, rm *ReleasedModel) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Write(f, rm); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// Load reads a model file from path.
+func Load(path string) (*ReleasedModel, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// SizeReport describes the storage footprint of a released model.
+type SizeReport struct {
+	// DenseBytes is the full-precision payload (8 bytes per value).
+	DenseBytes int
+	// CodebookBytes is the total codebook storage (8 bytes per level).
+	CodebookBytes int
+	// IndexBits is the packed size of the quantized indices at
+	// ceil(log2(levels)) bits per weight.
+	IndexBits int
+	// RawBytes is what the same model would take fully uncompressed.
+	RawBytes int
+}
+
+// TotalBytes returns the compressed storage total.
+func (s SizeReport) TotalBytes() int {
+	return s.DenseBytes + s.CodebookBytes + (s.IndexBits+7)/8
+}
+
+// Ratio returns RawBytes / TotalBytes (higher = better compression).
+func (s SizeReport) Ratio() float64 {
+	t := s.TotalBytes()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.RawBytes) / float64(t)
+}
+
+// Size computes the storage footprint of rm.
+func Size(rm *ReleasedModel) SizeReport {
+	var rep SizeReport
+	for _, b := range rm.Dense {
+		rep.DenseBytes += 8 * len(b.Values)
+		rep.RawBytes += 8 * len(b.Values)
+	}
+	for _, qu := range rm.Quantized {
+		rep.CodebookBytes += 8 * len(qu.Levels)
+		bits := bitsFor(len(qu.Levels))
+		for _, idx := range qu.Indices {
+			rep.IndexBits += bits * len(idx)
+			rep.RawBytes += 8 * len(idx)
+		}
+	}
+	for _, bn := range rm.BNStats {
+		rep.DenseBytes += 8 * (len(bn.RunMean) + len(bn.RunVar))
+		rep.RawBytes += 8 * (len(bn.RunMean) + len(bn.RunVar))
+	}
+	return rep
+}
+
+func bitsFor(levels int) int {
+	b := 1
+	for 1<<b < levels {
+		b++
+	}
+	return b
+}
+
+func codebookFromLevels(levels []float64) quantize.Codebook {
+	// Rebuild midpoint boundaries; they are only needed if the model is
+	// re-quantized, not for inference or extraction.
+	cb := quantize.Codebook{Levels: append([]float64(nil), levels...)}
+	cb.Bounds = make([]float64, len(levels)+1)
+	cb.Bounds[0] = math.Inf(-1)
+	for i := 1; i < len(levels); i++ {
+		cb.Bounds[i] = (levels[i-1] + levels[i]) / 2
+	}
+	cb.Bounds[len(levels)] = math.Inf(1)
+	return cb
+}
+
+// collectBN walks the layer tree and captures batch-norm running stats.
+func collectBN(l nn.Layer, out *[]BNBlob) {
+	switch v := l.(type) {
+	case *nn.BatchNorm2D:
+		*out = append(*out, BNBlob{
+			Name:    v.Name(),
+			RunMean: append([]float64(nil), v.RunMean...),
+			RunVar:  append([]float64(nil), v.RunVar...),
+		})
+	case *nn.Sequential:
+		for _, child := range v.Layers {
+			collectBN(child, out)
+		}
+	case *nn.Residual:
+		for _, child := range v.Children() {
+			collectBN(child, out)
+		}
+	}
+}
+
+// restoreBN writes captured running stats back into the model.
+func restoreBN(l nn.Layer, blobs []BNBlob) error {
+	byName := map[string]BNBlob{}
+	for _, b := range blobs {
+		byName[b.Name] = b
+	}
+	var apply func(nn.Layer) error
+	apply = func(l nn.Layer) error {
+		switch v := l.(type) {
+		case *nn.BatchNorm2D:
+			b, ok := byName[v.Name()]
+			if !ok {
+				return fmt.Errorf("modelio: missing batch-norm stats for %q", v.Name())
+			}
+			if len(b.RunMean) != len(v.RunMean) {
+				return fmt.Errorf("modelio: batch-norm %q channel mismatch", v.Name())
+			}
+			copy(v.RunMean, b.RunMean)
+			copy(v.RunVar, b.RunVar)
+		case *nn.Sequential:
+			for _, child := range v.Layers {
+				if err := apply(child); err != nil {
+					return err
+				}
+			}
+		case *nn.Residual:
+			for _, child := range v.Children() {
+				if err := apply(child); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return apply(l)
+}

@@ -1,0 +1,202 @@
+package modelio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/quantize"
+	"repro/internal/tensor"
+)
+
+func arch() nn.ResNetConfig {
+	return nn.ResNetConfig{
+		InC: 1, InH: 8, InW: 8, Classes: 4,
+		Widths: []int{4, 8}, Blocks: []int{1, 1}, Seed: 9,
+	}
+}
+
+func trainedish(seed int64) *nn.Model {
+	m := nn.NewResNet(arch())
+	rng := rand.New(rand.NewSource(seed))
+	for _, p := range m.Params() {
+		p.Value.RandN(rng, 0, 0.1)
+	}
+	// Make batch-norm stats non-trivial so the round trip is meaningful.
+	x := tensor.New(8, 1, 8, 8).RandN(rng, 0, 1)
+	m.ForwardTrain(x)
+	return m
+}
+
+func TestExportImportFullPrecision(t *testing.T) {
+	m := trainedish(1)
+	rm, err := Export(m, arch(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rm.Quantized) != 0 {
+		t.Fatal("unquantized export has quantized units")
+	}
+	m2, applied, err := Import(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != nil {
+		t.Fatal("unquantized import returned quantization record")
+	}
+	checkSameOutputs(t, m, m2)
+}
+
+func TestExportImportQuantized(t *testing.T) {
+	m := trainedish(2)
+	a := quantize.QuantizeModel(m, quantize.WeightedEntropy{}, 16)
+	rm, err := Export(m, arch(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rm.Quantized) == 0 {
+		t.Fatal("quantized export has no units")
+	}
+	m2, a2, err := Import(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 == nil || len(a2.Units) != len(a.Units) {
+		t.Fatal("quantization record lost in round trip")
+	}
+	checkSameOutputs(t, m, m2)
+	// Imported model remains properly quantized.
+	for name, n := range a2.UniqueValues() {
+		if n > 16 {
+			t.Fatalf("imported unit %s has %d distinct values", name, n)
+		}
+	}
+}
+
+func TestWriteReadStream(t *testing.T) {
+	m := trainedish(3)
+	rm, err := Export(m, arch(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, rm); err != nil {
+		t.Fatal(err)
+	}
+	rm2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, err := Import(rm2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSameOutputs(t, m, m2)
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	m := trainedish(4)
+	a := quantize.QuantizeModel(m, quantize.Linear{LloydIters: 2}, 8)
+	rm, err := Export(m, arch(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/model.bin"
+	if err := Save(path, rm); err != nil {
+		t.Fatal(err)
+	}
+	rm2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, err := Import(rm2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSameOutputs(t, m, m2)
+}
+
+func TestReadGarbageFails(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestExportTooManyLevelsFails(t *testing.T) {
+	m := trainedish(5)
+	a := &quantize.Applied{}
+	a.QuantizeUnit("big", m.WeightParams(), quantize.Linear{}, 300)
+	if _, err := Export(m, arch(), a); err == nil {
+		t.Fatal("expected error for >256 levels")
+	}
+}
+
+func TestSizeReportQuantizedSmaller(t *testing.T) {
+	m := trainedish(6)
+	rmFull, err := Export(m, arch(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullSize := Size(rmFull)
+	if fullSize.TotalBytes() != fullSize.RawBytes {
+		t.Fatalf("uncompressed total %d != raw %d", fullSize.TotalBytes(), fullSize.RawBytes)
+	}
+
+	m2 := trainedish(6)
+	a := quantize.QuantizeModel(m2, quantize.WeightedEntropy{}, 16)
+	rmQ, err := Export(m2, arch(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qSize := Size(rmQ)
+	if qSize.TotalBytes() >= fullSize.TotalBytes() {
+		t.Fatalf("quantized size %d not below full %d", qSize.TotalBytes(), fullSize.TotalBytes())
+	}
+	if qSize.Ratio() < 2 {
+		t.Fatalf("4-bit compression ratio %v suspiciously low", qSize.Ratio())
+	}
+	if qSize.IndexBits != 4*m2.NumWeightParams() {
+		t.Fatalf("index bits %d, want %d", qSize.IndexBits, 4*m2.NumWeightParams())
+	}
+}
+
+func TestImportRejectsCorruptIndices(t *testing.T) {
+	m := trainedish(7)
+	a := quantize.QuantizeModel(m, quantize.Linear{}, 4)
+	rm, err := Export(m, arch(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm.Quantized[0].Indices[0][0] = 200 // out of range for 4 levels
+	if _, _, err := Import(rm); err == nil {
+		t.Fatal("expected index range error")
+	}
+}
+
+func TestImportRejectsUnknownParam(t *testing.T) {
+	m := trainedish(8)
+	rm, err := Export(m, arch(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm.Dense[0].Name = "no.such.param"
+	if _, _, err := Import(rm); err == nil {
+		t.Fatal("expected unknown-parameter error")
+	}
+}
+
+// checkSameOutputs verifies both models produce identical logits, which
+// exercises parameters AND batch-norm running statistics.
+func checkSameOutputs(t *testing.T, a, b *nn.Model) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	x := tensor.New(4, 1, 8, 8).RandN(rng, 0, 1)
+	ya := a.Forward(x)
+	yb := b.Forward(x)
+	for i := range ya.Data() {
+		if ya.Data()[i] != yb.Data()[i] {
+			t.Fatalf("logit %d differs: %v vs %v", i, ya.Data()[i], yb.Data()[i])
+		}
+	}
+}

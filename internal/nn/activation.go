@@ -1,0 +1,104 @@
+package nn
+
+import "repro/internal/tensor"
+
+// ReLU applies max(0, x) elementwise.
+type ReLU struct {
+	name string
+	mask []bool
+}
+
+// NewReLU creates a ReLU activation layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.name }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x.Clone()
+	d := out.Data()
+	if train {
+		if cap(r.mask) < len(d) {
+			r.mask = make([]bool, len(d))
+		}
+		r.mask = r.mask[:len(d)]
+	}
+	for i, v := range d {
+		pos := v > 0
+		if !pos {
+			d[i] = 0
+		}
+		if train {
+			r.mask[i] = pos
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := grad.Clone()
+	d := out.Data()
+	for i := range d {
+		if !r.mask[i] {
+			d[i] = 0
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// LeakyReLU applies x for x>0 and alpha*x otherwise.
+type LeakyReLU struct {
+	name  string
+	Alpha float64
+	mask  []bool
+}
+
+// NewLeakyReLU creates a leaky ReLU with the given negative slope.
+func NewLeakyReLU(name string, alpha float64) *LeakyReLU {
+	return &LeakyReLU{name: name, Alpha: alpha}
+}
+
+// Name implements Layer.
+func (r *LeakyReLU) Name() string { return r.name }
+
+// Forward implements Layer.
+func (r *LeakyReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x.Clone()
+	d := out.Data()
+	if train {
+		if cap(r.mask) < len(d) {
+			r.mask = make([]bool, len(d))
+		}
+		r.mask = r.mask[:len(d)]
+	}
+	for i, v := range d {
+		pos := v > 0
+		if !pos {
+			d[i] = v * r.Alpha
+		}
+		if train {
+			r.mask[i] = pos
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *LeakyReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := grad.Clone()
+	d := out.Data()
+	for i := range d {
+		if !r.mask[i] {
+			d[i] *= r.Alpha
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (r *LeakyReLU) Params() []*Param { return nil }

@@ -1,0 +1,134 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over NCHW batches with uniform stride and
+// zero padding. Weights are stored (outC, inC*kh*kw) so the forward pass is
+// a single matmul against the im2col patch matrix per sample.
+type Conv2D struct {
+	name    string
+	Dims    tensor.ConvDims
+	W, B    *Param
+	lastIn  *tensor.Tensor
+	cols    []float64 // cached im2col matrices for the last training batch
+	lastN   int
+	useBias bool
+}
+
+// NewConv2D creates a convolution layer with He-normal initialization.
+func NewConv2D(name string, inC, inH, inW, outC, k, stride, pad int, rng *rand.Rand) *Conv2D {
+	d := tensor.NewConvDims(inC, inH, inW, outC, k, k, stride, pad)
+	w := tensor.New(outC, d.ColRows).KaimingNormal(rng, d.ColRows)
+	b := tensor.New(outC)
+	return &Conv2D{
+		name: name, Dims: d,
+		W:       newParam(name+".w", w, true),
+		B:       newParam(name+".b", b, false),
+		useBias: true,
+	}
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.name }
+
+// OutShape returns the per-sample output dimensions (C, H, W).
+func (c *Conv2D) OutShape() (int, int, int) {
+	return c.Dims.OutC, c.Dims.OutH, c.Dims.OutW
+}
+
+// Forward implements Layer. Input must be (N, inC, inH, inW) or a flat
+// (N, inC*inH*inW).
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := x.Dim(0)
+	if x.Len()/n != c.Dims.InElems {
+		panic(fmt.Sprintf("nn: %s: input has %d elems/sample, want %d", c.name, x.Len()/n, c.Dims.InElems))
+	}
+	colSize := c.Dims.ColRows * c.Dims.Cols
+	var cols []float64
+	if train {
+		if cap(c.cols) < n*colSize {
+			c.cols = make([]float64, n*colSize)
+		}
+		cols = c.cols[:n*colSize]
+		c.lastIn = x
+		c.lastN = n
+	} else {
+		cols = make([]float64, colSize)
+	}
+	out := tensor.New(n, c.Dims.OutC, c.Dims.OutH, c.Dims.OutW)
+	xd := x.Data()
+	od := out.Data()
+	colT := tensor.FromSlice(make([]float64, colSize), c.Dims.ColRows, c.Dims.Cols)
+	outT := tensor.FromSlice(make([]float64, c.Dims.OutElems), c.Dims.OutC, c.Dims.Cols)
+	for i := 0; i < n; i++ {
+		var col []float64
+		if train {
+			col = cols[i*colSize : (i+1)*colSize]
+		} else {
+			col = cols
+		}
+		tensor.Im2Col(c.Dims, xd[i*c.Dims.InElems:(i+1)*c.Dims.InElems], col)
+		colT = tensor.FromSlice(col, c.Dims.ColRows, c.Dims.Cols)
+		outT = tensor.FromSlice(od[i*c.Dims.OutElems:(i+1)*c.Dims.OutElems], c.Dims.OutC, c.Dims.Cols)
+		tensor.MatMulInto(outT, c.W.Value, colT)
+	}
+	if c.useBias {
+		bd := c.B.Value.Data()
+		spatial := c.Dims.Cols
+		for i := 0; i < n; i++ {
+			base := i * c.Dims.OutElems
+			for ch := 0; ch < c.Dims.OutC; ch++ {
+				bv := bd[ch]
+				row := od[base+ch*spatial : base+(ch+1)*spatial]
+				for j := range row {
+					row[j] += bv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if c.lastIn == nil {
+		panic(fmt.Sprintf("nn: %s: Backward before Forward(train)", c.name))
+	}
+	n := c.lastN
+	colSize := c.Dims.ColRows * c.Dims.Cols
+	gd := grad.Data()
+	dx := tensor.New(n, c.Dims.InC, c.Dims.InH, c.Dims.InW)
+	dxd := dx.Data()
+	dcol := make([]float64, colSize)
+	spatial := c.Dims.Cols
+	bg := c.B.Grad.Data()
+	for i := 0; i < n; i++ {
+		gSample := tensor.FromSlice(gd[i*c.Dims.OutElems:(i+1)*c.Dims.OutElems], c.Dims.OutC, spatial)
+		col := tensor.FromSlice(c.cols[i*colSize:(i+1)*colSize], c.Dims.ColRows, spatial)
+		// dW += g·colᵀ  : (outC,cols)·(cols,colRows)
+		c.W.Grad.Add(tensor.MatMulT(gSample, col))
+		// dcol = Wᵀ·g : (colRows,outC)·(outC,cols)
+		dcolT := tensor.TMatMul(c.W.Value, gSample)
+		copy(dcol, dcolT.Data())
+		tensor.Col2Im(c.Dims, dcol, dxd[i*c.Dims.InElems:(i+1)*c.Dims.InElems])
+		if c.useBias {
+			for ch := 0; ch < c.Dims.OutC; ch++ {
+				row := gSample.Data()[ch*spatial : (ch+1)*spatial]
+				s := 0.0
+				for _, v := range row {
+					s += v
+				}
+				bg[ch] += s
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }

@@ -1,0 +1,84 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Dense is a fully connected layer: y = x·Wᵀ + b, with x of shape
+// (N, in) and y of shape (N, out). The weight is stored (out, in).
+type Dense struct {
+	name     string
+	In, Out  int
+	W, B     *Param
+	lastIn   *tensor.Tensor
+	withBias bool
+}
+
+// NewDense creates a dense layer with He-normal initialized weights.
+func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
+	w := tensor.New(out, in).KaimingNormal(rng, in)
+	b := tensor.New(out)
+	return &Dense{
+		name: name, In: in, Out: out,
+		W:        newParam(name+".w", w, true),
+		B:        newParam(name+".b", b, false),
+		withBias: true,
+	}
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return d.name }
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := x.Dim(0)
+	x2 := x.Reshape(n, x.Len()/n)
+	if x2.Dim(1) != d.In {
+		panic(fmt.Sprintf("nn: %s: input features %d, want %d", d.name, x2.Dim(1), d.In))
+	}
+	if train {
+		d.lastIn = x2
+	}
+	y := tensor.MatMulT(x2, d.W.Value) // (N,in)·(out,in)ᵀ = (N,out)
+	if d.withBias {
+		bd := d.B.Value.Data()
+		yd := y.Data()
+		for i := 0; i < n; i++ {
+			row := yd[i*d.Out : (i+1)*d.Out]
+			for j := range row {
+				row[j] += bd[j]
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.lastIn == nil {
+		panic(fmt.Sprintf("nn: %s: Backward before Forward(train)", d.name))
+	}
+	n := grad.Dim(0)
+	g2 := grad.Reshape(n, grad.Len()/n)
+	// dW = gᵀ·x : (out,N)·(N,in) = (out,in)
+	dw := tensor.TMatMul(g2, d.lastIn)
+	d.W.Grad.Add(dw)
+	if d.withBias {
+		gb := d.B.Grad.Data()
+		gd := g2.Data()
+		for i := 0; i < n; i++ {
+			row := gd[i*d.Out : (i+1)*d.Out]
+			for j := range row {
+				gb[j] += row[j]
+			}
+		}
+	}
+	// dx = g·W : (N,out)·(out,in) = (N,in)
+	return tensor.MatMul(g2, d.W.Value)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }

@@ -1,0 +1,148 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Dropout randomly zeroes a fraction of activations during training and
+// rescales the survivors by 1/(1−p) (inverted dropout), so inference needs
+// no correction. The benign third-party pipelines this repo models
+// commonly include it, and it interacts with the attack: dropout noise on
+// the data loss does not disturb the correlation penalty, which is applied
+// to the weights directly.
+type Dropout struct {
+	name string
+	// P is the drop probability in [0, 1).
+	P    float64
+	rng  *rand.Rand
+	mask []bool
+}
+
+// NewDropout creates a dropout layer with its own deterministic stream.
+func NewDropout(name string, p float64, seed int64) *Dropout {
+	if p < 0 || p >= 1 {
+		panic("nn: dropout probability must be in [0, 1)")
+	}
+	return &Dropout{name: name, P: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return d.name }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.P == 0 {
+		return x.Clone()
+	}
+	out := x.Clone()
+	data := out.Data()
+	if cap(d.mask) < len(data) {
+		d.mask = make([]bool, len(data))
+	}
+	d.mask = d.mask[:len(data)]
+	scale := 1.0 / (1.0 - d.P)
+	for i := range data {
+		if d.rng.Float64() < d.P {
+			data[i] = 0
+			d.mask[i] = false
+		} else {
+			data[i] *= scale
+			d.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.P == 0 {
+		return grad.Clone()
+	}
+	out := grad.Clone()
+	data := out.Data()
+	scale := 1.0 / (1.0 - d.P)
+	for i := range data {
+		if d.mask[i] {
+			data[i] *= scale
+		} else {
+			data[i] = 0
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// Tanh applies the hyperbolic tangent elementwise.
+type Tanh struct {
+	name string
+	out  []float64
+}
+
+// NewTanh creates a tanh activation layer.
+func NewTanh(name string) *Tanh { return &Tanh{name: name} }
+
+// Name implements Layer.
+func (t *Tanh) Name() string { return t.name }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x.Clone().Apply(math.Tanh)
+	if train {
+		t.out = append(t.out[:0], out.Data()...)
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := grad.Clone()
+	d := out.Data()
+	for i := range d {
+		d[i] *= 1 - t.out[i]*t.out[i]
+	}
+	return out
+}
+
+// Params implements Layer.
+func (t *Tanh) Params() []*Param { return nil }
+
+// Sigmoid applies the logistic function elementwise.
+type Sigmoid struct {
+	name string
+	out  []float64
+}
+
+// NewSigmoid creates a sigmoid activation layer.
+func NewSigmoid(name string) *Sigmoid { return &Sigmoid{name: name} }
+
+// Name implements Layer.
+func (s *Sigmoid) Name() string { return s.name }
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x.Clone().Apply(func(v float64) float64 {
+		return 1 / (1 + math.Exp(-v))
+	})
+	if train {
+		s.out = append(s.out[:0], out.Data()...)
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := grad.Clone()
+	d := out.Data()
+	for i := range d {
+		d[i] *= s.out[i] * (1 - s.out[i])
+	}
+	return out
+}
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []*Param { return nil }

@@ -1,0 +1,152 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestDropoutEvalIsIdentity(t *testing.T) {
+	d := NewDropout("d", 0.5, 1)
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.New(4, 8).RandN(rng, 0, 1)
+	y := d.Forward(x, false)
+	for i := range x.Data() {
+		if y.Data()[i] != x.Data()[i] {
+			t.Fatal("eval-mode dropout must be identity")
+		}
+	}
+}
+
+func TestDropoutTrainDropsAndRescales(t *testing.T) {
+	d := NewDropout("d", 0.5, 2)
+	x := tensor.New(1, 10000)
+	x.Fill(1)
+	y := d.Forward(x, true)
+	zeros := 0
+	for _, v := range y.Data() {
+		switch v {
+		case 0:
+			zeros++
+		case 2:
+			// survivor scaled by 1/(1-0.5)
+		default:
+			t.Fatalf("unexpected value %v", v)
+		}
+	}
+	frac := float64(zeros) / 10000
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("drop fraction %v, want ≈0.5", frac)
+	}
+	// Expectation preserved.
+	if m := y.Mean(); math.Abs(m-1) > 0.05 {
+		t.Fatalf("mean after dropout %v, want ≈1", m)
+	}
+}
+
+func TestDropoutBackwardMatchesMask(t *testing.T) {
+	d := NewDropout("d", 0.3, 3)
+	rng := rand.New(rand.NewSource(3))
+	x := tensor.New(2, 50).RandN(rng, 0, 1)
+	y := d.Forward(x, true)
+	g := tensor.New(2, 50)
+	g.Fill(1)
+	dx := d.Backward(g)
+	scale := 1.0 / 0.7
+	for i, v := range y.Data() {
+		if v == 0 && dx.Data()[i] != 0 {
+			t.Fatal("gradient leaked through dropped unit")
+		}
+		if v != 0 && math.Abs(dx.Data()[i]-scale) > 1e-12 {
+			t.Fatalf("survivor gradient %v, want %v", dx.Data()[i], scale)
+		}
+	}
+}
+
+func TestDropoutZeroPIsPassthrough(t *testing.T) {
+	d := NewDropout("d", 0, 4)
+	rng := rand.New(rand.NewSource(4))
+	x := tensor.New(2, 5).RandN(rng, 0, 1)
+	y := d.Forward(x, true)
+	dx := d.Backward(y)
+	for i := range x.Data() {
+		if y.Data()[i] != x.Data()[i] || dx.Data()[i] != y.Data()[i] {
+			t.Fatal("p=0 dropout must pass through")
+		}
+	}
+}
+
+func TestDropoutBadPPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDropout("d", 1.0, 5)
+}
+
+func TestTanhGradients(t *testing.T) {
+	checkLayerGradients(t, NewTanh("t"), []int{3, 7}, 40, 1e-5)
+}
+
+func TestSigmoidGradients(t *testing.T) {
+	checkLayerGradients(t, NewSigmoid("s"), []int{3, 7}, 41, 1e-5)
+}
+
+func TestTanhRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := tensor.New(1, 100).RandN(rng, 0, 10)
+	y := NewTanh("t").Forward(x, false)
+	if y.Min() < -1 || y.Max() > 1 {
+		t.Fatalf("tanh out of range [%v, %v]", y.Min(), y.Max())
+	}
+}
+
+func TestSigmoidRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := tensor.New(1, 100).RandN(rng, 0, 10)
+	y := NewSigmoid("s").Forward(x, false)
+	if y.Min() < 0 || y.Max() > 1 {
+		t.Fatalf("sigmoid out of range [%v, %v]", y.Min(), y.Max())
+	}
+}
+
+// Dropout inside a network still trains: the rings problem from the train
+// package, reduced here to a quick smoke via direct gradient steps.
+func TestDropoutNetworkTrains(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	seq := NewSequential("net",
+		NewDense("fc1", 2, 16, rng),
+		NewReLU("r1"),
+		NewDropout("do", 0.2, 8),
+		NewDense("fc2", 16, 2, rng),
+	)
+	m := NewModel(seq, 2, []int{2})
+	n := 128
+	x := tensor.New(n, 2)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % 2
+		cx := -1.5
+		if c == 1 {
+			cx = 1.5
+		}
+		x.Set(cx+rng.NormFloat64()*0.4, i, 0)
+		x.Set(rng.NormFloat64()*0.4, i, 1)
+		y[i] = c
+	}
+	for step := 0; step < 200; step++ {
+		m.ZeroGrad()
+		logits := m.ForwardTrain(x)
+		_, grad := SoftmaxCrossEntropy(logits, y)
+		m.Backward(grad)
+		for _, p := range m.Params() {
+			p.Value.AddScaled(-0.1, p.Grad)
+		}
+	}
+	if acc := m.Accuracy(x, y, 64); acc < 0.95 {
+		t.Fatalf("dropout network accuracy %v", acc)
+	}
+}

@@ -1,0 +1,65 @@
+package nn
+
+import "repro/internal/tensor"
+
+// Layer is a differentiable module with manual backpropagation.
+//
+// Forward consumes an input batch and returns the output batch; when train
+// is true the layer caches whatever it needs for Backward and updates any
+// running statistics. Backward consumes the loss gradient with respect to
+// the layer's output and returns the gradient with respect to its input,
+// accumulating parameter gradients along the way. Backward must be called
+// with the same batch that was last passed to Forward with train=true.
+type Layer interface {
+	// Name returns the layer's unique name within its model.
+	Name() string
+	// Forward computes the layer output for a batch.
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward propagates the output gradient and returns the input
+	// gradient.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's trainable parameters (possibly empty).
+	Params() []*Param
+}
+
+// Sequential chains layers, feeding each one's output to the next.
+type Sequential struct {
+	name   string
+	Layers []Layer
+}
+
+// NewSequential builds a named sequential container.
+func NewSequential(name string, layers ...Layer) *Sequential {
+	return &Sequential{name: name, Layers: layers}
+}
+
+// Name implements Layer.
+func (s *Sequential) Name() string { return s.name }
+
+// Add appends a layer.
+func (s *Sequential) Add(l Layer) { s.Layers = append(s.Layers, l) }
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params implements Layer.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}

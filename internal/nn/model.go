@@ -1,0 +1,221 @@
+package nn
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// Model wraps a network with the bookkeeping the attacks need: stable
+// parameter ordering, weight-only views, and the paper's notion of
+// layer groups over conv-layer indices.
+type Model struct {
+	// Net is the underlying network.
+	Net Layer
+	// Classes is the number of output classes.
+	Classes int
+	// InputShape is the per-sample input shape (e.g. [1 16 16]).
+	InputShape []int
+
+	params []*Param
+}
+
+// NewModel wraps net, capturing its parameter list in forward order.
+func NewModel(net Layer, classes int, inputShape []int) *Model {
+	return &Model{
+		Net:        net,
+		Classes:    classes,
+		InputShape: inputShape,
+		params:     net.Params(),
+	}
+}
+
+// Params returns all trainable parameters in forward order.
+func (m *Model) Params() []*Param { return m.params }
+
+// WeightParams returns only the multiplicative weights (conv kernels and
+// dense matrices), the carriers used for data encoding.
+func (m *Model) WeightParams() []*Param {
+	var ws []*Param
+	for _, p := range m.params {
+		if p.Weight {
+			ws = append(ws, p)
+		}
+	}
+	return ws
+}
+
+// NumParams returns the total scalar parameter count.
+func (m *Model) NumParams() int {
+	n := 0
+	for _, p := range m.params {
+		n += p.NumEl()
+	}
+	return n
+}
+
+// NumWeightParams returns the total scalar count over weight parameters.
+func (m *Model) NumWeightParams() int {
+	n := 0
+	for _, p := range m.WeightParams() {
+		n += p.NumEl()
+	}
+	return n
+}
+
+// MaxConvIndex returns the largest ConvIndex over all parameters, i.e. the
+// network "depth" in the paper's layer-numbering sense.
+func (m *Model) MaxConvIndex() int {
+	mx := 0
+	for _, p := range m.params {
+		if p.ConvIndex > mx {
+			mx = p.ConvIndex
+		}
+	}
+	return mx
+}
+
+// ZeroGrad clears every parameter gradient.
+func (m *Model) ZeroGrad() {
+	for _, p := range m.params {
+		p.ZeroGrad()
+	}
+}
+
+// Forward runs the network in inference mode.
+func (m *Model) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return m.Net.Forward(x, false)
+}
+
+// ForwardTrain runs the network in training mode (caches for backward).
+func (m *Model) ForwardTrain(x *tensor.Tensor) *tensor.Tensor {
+	return m.Net.Forward(x, true)
+}
+
+// Backward propagates the loss gradient, accumulating parameter grads.
+func (m *Model) Backward(grad *tensor.Tensor) {
+	m.Net.Backward(grad)
+}
+
+// Predict returns the argmax class for each sample in x, evaluating in
+// chunks of batchSize to bound memory.
+func (m *Model) Predict(x *tensor.Tensor, batchSize int) []int {
+	n := x.Dim(0)
+	if batchSize <= 0 {
+		batchSize = 64
+	}
+	out := make([]int, n)
+	for lo := 0; lo < n; lo += batchSize {
+		hi := lo + batchSize
+		if hi > n {
+			hi = n
+		}
+		logits := m.Forward(x.View(lo, hi))
+		k := logits.Dim(1)
+		ld := logits.Data()
+		for i := 0; i < hi-lo; i++ {
+			row := tensor.FromSlice(ld[i*k:(i+1)*k], k)
+			out[lo+i] = row.ArgMax()
+		}
+	}
+	return out
+}
+
+// Accuracy returns the fraction of samples whose argmax prediction matches
+// the label.
+func (m *Model) Accuracy(x *tensor.Tensor, labels []int, batchSize int) float64 {
+	preds := m.Predict(x, batchSize)
+	if len(preds) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, p := range preds {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(preds))
+}
+
+// LayerGroup is a named set of parameters treated as one encoding unit by
+// the layer-wise regularizer (Eq 2 of the paper).
+type LayerGroup struct {
+	// Name labels the group ("group1").
+	Name string
+	// Params are the group's weight parameters in forward order.
+	Params []*Param
+	// NumEl is the total scalar count across Params.
+	NumEl int
+}
+
+// GroupsByConvIndex partitions the model's *weight* parameters into
+// len(bounds)+1 groups by conv-layer index: group k contains layers with
+// index in (bounds[k-1], bounds[k]] (with implicit 0 and +inf at the ends).
+// For the paper's ResNet-34 split this is bounds = [12, 16]: layers 1-12,
+// 13-16, and 17+. Parameters with ConvIndex 0 (none here) go to the last
+// group.
+func (m *Model) GroupsByConvIndex(bounds []int) []LayerGroup {
+	if !sort.IntsAreSorted(bounds) {
+		panic(fmt.Sprintf("nn: group bounds %v not sorted", bounds))
+	}
+	groups := make([]LayerGroup, len(bounds)+1)
+	for i := range groups {
+		groups[i].Name = fmt.Sprintf("group%d", i+1)
+	}
+	for _, p := range m.WeightParams() {
+		gi := len(bounds)
+		if p.ConvIndex > 0 {
+			for i, b := range bounds {
+				if p.ConvIndex <= b {
+					gi = i
+					break
+				}
+			}
+		}
+		groups[gi].Params = append(groups[gi].Params, p)
+		groups[gi].NumEl += p.NumEl()
+	}
+	return groups
+}
+
+// FlattenValues concatenates the group's parameter values into one vector.
+func (g LayerGroup) FlattenValues() []float64 {
+	out := make([]float64, 0, g.NumEl)
+	for _, p := range g.Params {
+		out = append(out, p.Value.Data()...)
+	}
+	return out
+}
+
+// ScatterValues writes a flat vector (as produced by FlattenValues) back
+// into the group's parameters.
+func (g LayerGroup) ScatterValues(v []float64) {
+	if len(v) != g.NumEl {
+		panic(fmt.Sprintf("nn: ScatterValues length %d, want %d", len(v), g.NumEl))
+	}
+	off := 0
+	for _, p := range g.Params {
+		n := p.NumEl()
+		copy(p.Value.Data(), v[off:off+n])
+		off += n
+	}
+}
+
+// AddToGrads adds a flat vector of per-element contributions to the group's
+// parameter gradients. Used by the correlation regularizer, whose gradient
+// is computed in closed form over the flattened group.
+func (g LayerGroup) AddToGrads(v []float64) {
+	if len(v) != g.NumEl {
+		panic(fmt.Sprintf("nn: AddToGrads length %d, want %d", len(v), g.NumEl))
+	}
+	off := 0
+	for _, p := range g.Params {
+		n := p.NumEl()
+		gd := p.Grad.Data()
+		for i := 0; i < n; i++ {
+			gd[i] += v[off+i]
+		}
+		off += n
+	}
+}

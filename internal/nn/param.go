@@ -1,0 +1,57 @@
+// Package nn is a from-scratch neural-network substrate with manual
+// backpropagation. It provides the layers needed for small residual
+// convolutional classifiers (dense, conv2d, batch-norm, pooling, residual
+// blocks), a softmax cross-entropy loss, and model utilities (named
+// parameters, layer groups) used by the data-encoding attacks.
+//
+// The package exists because the paper's attack operates on a
+// gradient-trained model's weights; reproducing it in pure Go requires a
+// trainable substrate. See DESIGN.md §2 for the substitution argument.
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Param is a trainable parameter with its gradient accumulator.
+type Param struct {
+	// Name uniquely identifies the parameter within a model,
+	// e.g. "stage2.block0.conv1.w".
+	Name string
+	// Value holds the parameter tensor.
+	Value *tensor.Tensor
+	// Grad accumulates the loss gradient; it always has Value's shape.
+	Grad *tensor.Tensor
+	// Weight marks multiplicative weights (conv kernels, dense matrices).
+	// Only weight parameters are used as data-encoding carriers; biases
+	// and batch-norm affine parameters are excluded, matching the
+	// correlated-value-encoding attack which correlates "parameters"
+	// in the sense of weight matrices.
+	Weight bool
+	// ConvIndex is the 1-based index of the convolution/dense layer this
+	// parameter belongs to, in forward order, or 0 for parameters that do
+	// not belong to an indexed layer. The paper's layer groups ("layers
+	// 1-12") are defined over this index.
+	ConvIndex int
+}
+
+func newParam(name string, t *tensor.Tensor, weight bool) *Param {
+	return &Param{
+		Name:   name,
+		Value:  t,
+		Grad:   tensor.New(t.Shape()...),
+		Weight: weight,
+	}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// NumEl returns the number of scalar elements in the parameter.
+func (p *Param) NumEl() int { return p.Value.Len() }
+
+func (p *Param) String() string {
+	return fmt.Sprintf("%s%v", p.Name, p.Value.Shape())
+}

@@ -1,0 +1,178 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// MaxPool2D performs k×k max pooling with stride k over NCHW batches.
+type MaxPool2D struct {
+	name       string
+	K          int
+	C, H, W    int
+	outH, outW int
+	argmax     []int
+	lastShape  []int
+}
+
+// NewMaxPool2D creates a max-pooling layer for inputs of (C, H, W).
+func NewMaxPool2D(name string, c, h, w, k int) *MaxPool2D {
+	if h%k != 0 || w%k != 0 {
+		panic(fmt.Sprintf("nn: %s: pool size %d does not divide %dx%d", name, k, h, w))
+	}
+	return &MaxPool2D{name: name, K: k, C: c, H: h, W: w, outH: h / k, outW: w / k}
+}
+
+// Name implements Layer.
+func (p *MaxPool2D) Name() string { return p.name }
+
+// OutShape returns the per-sample output dimensions (C, H, W).
+func (p *MaxPool2D) OutShape() (int, int, int) { return p.C, p.outH, p.outW }
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := x.Dim(0)
+	in := x.Reshape(n, p.C, p.H, p.W)
+	out := tensor.New(n, p.C, p.outH, p.outW)
+	if train {
+		if cap(p.argmax) < out.Len() {
+			p.argmax = make([]int, out.Len())
+		}
+		p.argmax = p.argmax[:out.Len()]
+		p.lastShape = in.Shape()
+	}
+	id := in.Data()
+	od := out.Data()
+	oi := 0
+	for b := 0; b < n; b++ {
+		for c := 0; c < p.C; c++ {
+			base := (b*p.C + c) * p.H * p.W
+			for oy := 0; oy < p.outH; oy++ {
+				for ox := 0; ox < p.outW; ox++ {
+					best := -1
+					bestV := 0.0
+					for ky := 0; ky < p.K; ky++ {
+						iy := oy*p.K + ky
+						for kx := 0; kx < p.K; kx++ {
+							ix := ox*p.K + kx
+							idx := base + iy*p.W + ix
+							if best < 0 || id[idx] > bestV {
+								best, bestV = idx, id[idx]
+							}
+						}
+					}
+					od[oi] = bestV
+					if train {
+						p.argmax[oi] = best
+					}
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(p.lastShape...)
+	dd := dx.Data()
+	gd := grad.Data()
+	for i, src := range p.argmax {
+		dd[src] += gd[i]
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (p *MaxPool2D) Params() []*Param { return nil }
+
+// GlobalAvgPool averages each channel's spatial map, mapping
+// (N, C, H, W) to (N, C).
+type GlobalAvgPool struct {
+	name    string
+	C, H, W int
+}
+
+// NewGlobalAvgPool creates a global average pooling layer.
+func NewGlobalAvgPool(name string, c, h, w int) *GlobalAvgPool {
+	return &GlobalAvgPool{name: name, C: c, H: h, W: w}
+}
+
+// Name implements Layer.
+func (p *GlobalAvgPool) Name() string { return p.name }
+
+// Forward implements Layer.
+func (p *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := x.Dim(0)
+	spatial := p.H * p.W
+	out := tensor.New(n, p.C)
+	xd := x.Data()
+	od := out.Data()
+	inv := 1.0 / float64(spatial)
+	for b := 0; b < n; b++ {
+		for c := 0; c < p.C; c++ {
+			base := (b*p.C + c) * spatial
+			s := 0.0
+			for i := 0; i < spatial; i++ {
+				s += xd[base+i]
+			}
+			od[b*p.C+c] = s * inv
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n := grad.Dim(0)
+	spatial := p.H * p.W
+	dx := tensor.New(n, p.C, p.H, p.W)
+	dd := dx.Data()
+	gd := grad.Data()
+	inv := 1.0 / float64(spatial)
+	for b := 0; b < n; b++ {
+		for c := 0; c < p.C; c++ {
+			g := gd[b*p.C+c] * inv
+			base := (b*p.C + c) * spatial
+			for i := 0; i < spatial; i++ {
+				dd[base+i] = g
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (p *GlobalAvgPool) Params() []*Param { return nil }
+
+// Flatten reshapes (N, ...) to (N, features). It is a no-op on storage and
+// exists to make architectures explicit.
+type Flatten struct {
+	name      string
+	lastShape []int
+}
+
+// NewFlatten creates a flatten layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return f.name }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		f.lastShape = x.Shape()
+	}
+	n := x.Dim(0)
+	return x.Reshape(n, x.Len()/n)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(f.lastShape...)
+}
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }

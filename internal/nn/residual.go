@@ -1,0 +1,112 @@
+package nn
+
+import (
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Residual is a pre-packaged basic residual block:
+//
+//	y = ReLU( BN2(Conv2(ReLU(BN1(Conv1(x))))) + shortcut(x) )
+//
+// where shortcut is the identity when the input and output geometries match,
+// and a 1×1 strided convolution + batch-norm otherwise (the "option B"
+// projection from He et al.).
+type Residual struct {
+	name  string
+	body  *Sequential
+	proj  *Sequential // nil means identity shortcut
+	relu  *ReLU
+	saved *tensor.Tensor // input cache for the shortcut path
+	OutC  int
+	OutH  int
+	OutW  int
+}
+
+// NewResidual builds a basic block mapping (inC, h, w) to (outC, h/stride,
+// w/stride). The two body convolutions get conv indices idx and idx+1; the
+// projection (when present) shares index idx+1 (it acts at the same depth).
+func NewResidual(name string, inC, h, w, outC, stride int, idx int, rng *rand.Rand) *Residual {
+	conv1 := NewConv2D(name+".conv1", inC, h, w, outC, 3, stride, 1, rng)
+	conv1.W.ConvIndex = idx
+	conv1.B.ConvIndex = idx
+	oh, ow := conv1.Dims.OutH, conv1.Dims.OutW
+	conv2 := NewConv2D(name+".conv2", outC, oh, ow, outC, 3, 1, 1, rng)
+	conv2.W.ConvIndex = idx + 1
+	conv2.B.ConvIndex = idx + 1
+	body := NewSequential(name+".body",
+		conv1,
+		NewBatchNorm2D(name+".bn1", outC),
+		NewReLU(name+".relu1"),
+		conv2,
+		NewBatchNorm2D(name+".bn2", outC),
+	)
+	r := &Residual{
+		name: name, body: body,
+		relu: NewReLU(name + ".relu2"),
+		OutC: outC, OutH: oh, OutW: ow,
+	}
+	if stride != 1 || inC != outC {
+		pconv := NewConv2D(name+".proj", inC, h, w, outC, 1, stride, 0, rng)
+		pconv.W.ConvIndex = idx + 1
+		pconv.B.ConvIndex = idx + 1
+		r.proj = NewSequential(name+".shortcut",
+			pconv,
+			NewBatchNorm2D(name+".projbn", outC),
+		)
+	}
+	return r
+}
+
+// Name implements Layer.
+func (r *Residual) Name() string { return r.name }
+
+// Forward implements Layer.
+func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		r.saved = x
+	}
+	y := r.body.Forward(x, train)
+	var sc *tensor.Tensor
+	if r.proj != nil {
+		sc = r.proj.Forward(x, train)
+	} else {
+		sc = x
+	}
+	sum := y.Clone().Add(sc)
+	return r.relu.Forward(sum, train)
+}
+
+// Backward implements Layer.
+func (r *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := r.relu.Backward(grad)
+	dxBody := r.body.Backward(g)
+	var dxShort *tensor.Tensor
+	if r.proj != nil {
+		dxShort = r.proj.Backward(g)
+	} else {
+		dxShort = g
+	}
+	return dxBody.Clone().Add(dxShort)
+}
+
+// Children returns the block's composite sub-layers (body and, when a
+// projection shortcut exists, the shortcut), for callers that need to walk
+// the layer tree (e.g. serialization of batch-norm statistics).
+func (r *Residual) Children() []Layer {
+	out := []Layer{r.body}
+	if r.proj != nil {
+		out = append(out, r.proj)
+	}
+	return out
+}
+
+// Params implements Layer.
+func (r *Residual) Params() []*Param {
+	ps := r.body.Params()
+	if r.proj != nil {
+		ps = append(ps, r.proj.Params()...)
+	}
+	return ps
+}

@@ -1,0 +1,121 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ResNetConfig describes a MiniResNet: a scaled-down residual classifier
+// structured like the paper's ResNet-34 (initial conv, three stages of
+// basic blocks with channel doubling and stride-2 downsampling, global
+// average pooling, linear classifier).
+type ResNetConfig struct {
+	// InC, InH, InW give the per-sample input shape.
+	InC, InH, InW int
+	// Classes is the classifier output width.
+	Classes int
+	// Widths are per-stage channel counts, e.g. [8, 16, 32].
+	Widths []int
+	// Blocks are per-stage basic-block counts, e.g. [2, 2, 2].
+	Blocks []int
+	// Seed drives weight initialization.
+	Seed int64
+}
+
+// DefaultCIFARConfig returns the MiniResNet used for the CIFAR-like
+// experiments: 3 stages on 16×16 inputs. Conv-layer indices run 1..13
+// (1 stem + 12 block convs) plus the final dense layer at index 14, so the
+// paper's group structure (early/middle/late) maps onto index bounds.
+func DefaultCIFARConfig(channels, classes int) ResNetConfig {
+	return ResNetConfig{
+		InC: channels, InH: 16, InW: 16,
+		Classes: classes,
+		Widths:  []int{8, 16, 32},
+		Blocks:  []int{2, 2, 2},
+		Seed:    1,
+	}
+}
+
+// DefaultFaceConfig returns the MiniResNet used for the face-recognition
+// experiments: wider final stage (more payload capacity) on 24×24 gray
+// crops with many identity classes.
+func DefaultFaceConfig(classes int) ResNetConfig {
+	return ResNetConfig{
+		InC: 1, InH: 24, InW: 24,
+		Classes: classes,
+		Widths:  []int{8, 16, 40},
+		Blocks:  []int{2, 2, 2},
+		Seed:    2,
+	}
+}
+
+// NewResNet builds a MiniResNet from cfg. Conv layers get 1-based
+// ConvIndex values in forward order; the classifier dense layer gets the
+// next index.
+func NewResNet(cfg ResNetConfig) *Model {
+	if len(cfg.Widths) != len(cfg.Blocks) {
+		panic(fmt.Sprintf("nn: widths %v and blocks %v differ in length", cfg.Widths, cfg.Blocks))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	seq := NewSequential("resnet")
+
+	idx := 1
+	stem := NewConv2D("stem.conv", cfg.InC, cfg.InH, cfg.InW, cfg.Widths[0], 3, 1, 1, rng)
+	stem.W.ConvIndex = idx
+	stem.B.ConvIndex = idx
+	idx++
+	seq.Add(stem)
+	seq.Add(NewBatchNorm2D("stem.bn", cfg.Widths[0]))
+	seq.Add(NewReLU("stem.relu"))
+
+	c, h, w := cfg.Widths[0], cfg.InH, cfg.InW
+	for si, width := range cfg.Widths {
+		stride := 2
+		if si == 0 {
+			stride = 1
+		}
+		for bi := 0; bi < cfg.Blocks[si]; bi++ {
+			s := 1
+			if bi == 0 {
+				s = stride
+			}
+			name := fmt.Sprintf("stage%d.block%d", si+1, bi)
+			blk := NewResidual(name, c, h, w, width, s, idx, rng)
+			idx += 2
+			seq.Add(blk)
+			c, h, w = blk.OutC, blk.OutH, blk.OutW
+		}
+	}
+
+	seq.Add(NewGlobalAvgPool("gap", c, h, w))
+	fc := NewDense("fc", c, cfg.Classes, rng)
+	fc.W.ConvIndex = idx
+	fc.B.ConvIndex = idx
+	seq.Add(fc)
+
+	return NewModel(seq, cfg.Classes, []int{cfg.InC, cfg.InH, cfg.InW})
+}
+
+// NewMLP builds a small fully connected classifier (used by fast unit tests
+// and the LSB/sign baseline demos, where convolution is irrelevant).
+// Dense layers get consecutive ConvIndex values from 1.
+func NewMLP(name string, in int, hidden []int, classes int, seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	seq := NewSequential(name)
+	prev := in
+	idx := 1
+	for i, hDim := range hidden {
+		d := NewDense(fmt.Sprintf("%s.fc%d", name, i+1), prev, hDim, rng)
+		d.W.ConvIndex = idx
+		d.B.ConvIndex = idx
+		idx++
+		seq.Add(d)
+		seq.Add(NewReLU(fmt.Sprintf("%s.relu%d", name, i+1)))
+		prev = hDim
+	}
+	out := NewDense(name+".out", prev, classes, rng)
+	out.W.ConvIndex = idx
+	out.B.ConvIndex = idx
+	seq.Add(out)
+	return NewModel(seq, classes, []int{in})
+}

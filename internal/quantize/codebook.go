@@ -1,0 +1,95 @@
+// Package quantize implements the weight-quantization schemes the paper
+// studies: a linear (deep-compression style) quantizer, the
+// weighted-entropy quantizer of Park et al. (CVPR 2017) that the paper uses
+// as the default compression, and the paper's own contribution — the
+// target-correlated quantizer of Algorithm 1, whose cluster boundaries are
+// derived from the histogram of the encoding target's pixel values so that
+// quantization preserves the weight↔pixel correlation. Cluster-centroid
+// fine-tuning (deep-compression style shared-weight training) is provided
+// to recover accuracy after quantization.
+package quantize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Codebook is a scalar quantizer: sorted cluster boundaries plus one
+// representative value per cluster. A weight w belongs to cluster i when
+// Bounds[i] <= w < Bounds[i+1]; Bounds has len(Levels)+1 entries and ends
+// with +Inf.
+type Codebook struct {
+	// Levels holds the representative (centroid) values, one per cluster,
+	// in ascending boundary order.
+	Levels []float64
+	// Bounds holds the cluster boundaries; Bounds[0] is an inclusive lower
+	// edge for cluster 0 and Bounds[len(Levels)] is +Inf.
+	Bounds []float64
+}
+
+// NumLevels returns the number of clusters.
+func (cb Codebook) NumLevels() int { return len(cb.Levels) }
+
+// Bits returns the bit width needed to index the codebook.
+func (cb Codebook) Bits() int {
+	if len(cb.Levels) <= 1 {
+		return 1
+	}
+	return int(math.Ceil(math.Log2(float64(len(cb.Levels)))))
+}
+
+// Index returns the cluster index for w.
+func (cb Codebook) Index(w float64) int {
+	// First cluster whose upper bound exceeds w.
+	i := sort.SearchFloat64s(cb.Bounds[1:], w)
+	// SearchFloat64s finds the first b >= w; when b == w the weight
+	// belongs to the *next* cluster (lower edges are inclusive).
+	for i < len(cb.Levels)-1 && cb.Bounds[i+1] <= w {
+		i++
+	}
+	if i >= len(cb.Levels) {
+		i = len(cb.Levels) - 1
+	}
+	return i
+}
+
+// Quantize maps w to its cluster's representative value.
+func (cb Codebook) Quantize(w float64) float64 { return cb.Levels[cb.Index(w)] }
+
+// QuantizeAll quantizes a slice in place and returns the per-element
+// cluster assignments.
+func (cb Codebook) QuantizeAll(w []float64) []int {
+	idx := make([]int, len(w))
+	for i, v := range w {
+		k := cb.Index(v)
+		idx[i] = k
+		w[i] = cb.Levels[k]
+	}
+	return idx
+}
+
+// Validate checks structural invariants (sorted bounds, matching lengths).
+func (cb Codebook) Validate() error {
+	if len(cb.Bounds) != len(cb.Levels)+1 {
+		return fmt.Errorf("quantize: %d bounds for %d levels", len(cb.Bounds), len(cb.Levels))
+	}
+	for i := 1; i < len(cb.Bounds); i++ {
+		if cb.Bounds[i] < cb.Bounds[i-1] {
+			return fmt.Errorf("quantize: bounds not sorted at %d", i)
+		}
+	}
+	if !math.IsInf(cb.Bounds[len(cb.Bounds)-1], 1) {
+		return fmt.Errorf("quantize: last bound must be +Inf")
+	}
+	return nil
+}
+
+// Quantizer fits a codebook to a weight sample.
+type Quantizer interface {
+	// Name identifies the scheme in logs and reports.
+	Name() string
+	// Fit builds a codebook with up to `levels` clusters for the given
+	// weights. Implementations must not modify weights.
+	Fit(weights []float64, levels int) Codebook
+}

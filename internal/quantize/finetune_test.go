@@ -1,0 +1,94 @@
+package quantize
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+// pullReg drags every weight toward a fixed payload vector, a stand-in for
+// the attack's correlation penalty.
+type pullReg struct {
+	target []float64
+	rate   float64
+}
+
+func (r pullReg) Apply(m *nn.Model) float64 {
+	i := 0
+	loss := 0.0
+	for _, p := range m.WeightParams() {
+		gd := p.Grad.Data()
+		vd := p.Value.Data()
+		for j := range gd {
+			if i < len(r.target) {
+				d := vd[j] - r.target[i]
+				gd[j] += r.rate * d
+				loss += 0.5 * r.rate * d * d
+				i++
+			}
+		}
+	}
+	return loss
+}
+
+// payloadDistance measures how far the current weights drifted from the
+// payload vector.
+func payloadDistance(m *nn.Model, target []float64) float64 {
+	i := 0
+	s := 0.0
+	for _, p := range m.WeightParams() {
+		for _, v := range p.Value.Data() {
+			if i < len(target) {
+				d := v - target[i]
+				s += d * d
+				i++
+			}
+		}
+	}
+	return math.Sqrt(s / float64(len(target)))
+}
+
+// Fine-tuning with the regularizer kept on must preserve the payload
+// better than benign fine-tuning — the reason the malicious pipeline ships
+// its own fine-tuner (core.Config.KeepRegDuringFineTune).
+func TestFineTuneWithRegPreservesPayload(t *testing.T) {
+	target := benchPayload(200)
+
+	run := func(withReg bool) float64 {
+		m := testModel(77)
+		// Pre-load the payload into the weights and quantize.
+		i := 0
+		for _, p := range m.WeightParams() {
+			vd := p.Value.Data()
+			for j := range vd {
+				if i < len(target) {
+					vd[j] = target[i]
+					i++
+				}
+			}
+		}
+		a := QuantizeModel(m, Linear{LloydIters: 3}, 16)
+		x, y := trainingBlob(200, 77)
+		cfg := FineTuneConfig{Epochs: 6, BatchSize: 32, LR: 0.05, Seed: 77}
+		if withReg {
+			cfg.Reg = pullReg{target: target, rate: 5}
+		}
+		FineTune(m, a, x, y, cfg)
+		return payloadDistance(m, target)
+	}
+
+	distReg := run(true)
+	distBenign := run(false)
+	if distReg >= distBenign {
+		t.Fatalf("regularized fine-tune drifted more: %v vs %v", distReg, distBenign)
+	}
+}
+
+func benchPayload(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 0.004*float64(i%256) - 0.5
+	}
+	return out
+}

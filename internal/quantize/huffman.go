@@ -1,0 +1,205 @@
+package quantize
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Huffman coding of cluster indices is the third stage of the deep
+// compression pipeline (Han et al.): after quantization, cluster indices
+// are entropy-coded so frequent clusters cost fewer bits. The paper's
+// storage numbers assume this deployment format; HuffmanSize reports what
+// a released model actually occupies.
+
+// HuffmanCode maps each symbol to its code length and bit pattern.
+type HuffmanCode struct {
+	// Lengths[i] is symbol i's code length in bits (0 = unused symbol).
+	Lengths []int
+	// Codes[i] is symbol i's canonical code, right-aligned.
+	Codes []uint64
+}
+
+type huffNode struct {
+	count       int
+	symbol      int
+	left, right *huffNode
+}
+
+type huffHeap []*huffNode
+
+func (h huffHeap) Len() int { return len(h) }
+func (h huffHeap) Less(i, j int) bool {
+	if h[i].count != h[j].count {
+		return h[i].count < h[j].count
+	}
+	return h[i].symbol < h[j].symbol // deterministic tie-break
+}
+func (h huffHeap) Swap(i, j int)   { h[i], h[j] = h[j], h[i] }
+func (h *huffHeap) Push(x any)     { *h = append(*h, x.(*huffNode)) }
+func (h *huffHeap) Pop() any       { old := *h; n := old[len(old)-1]; *h = old[:len(old)-1]; return n }
+func (h huffHeap) Peek() *huffNode { return h[0] }
+
+// BuildHuffman constructs a canonical Huffman code for the given symbol
+// counts. Symbols with zero count get no code. A single-symbol alphabet
+// gets a 1-bit code.
+func BuildHuffman(counts []int) HuffmanCode {
+	hc := HuffmanCode{
+		Lengths: make([]int, len(counts)),
+		Codes:   make([]uint64, len(counts)),
+	}
+	var h huffHeap
+	for s, c := range counts {
+		if c > 0 {
+			h = append(h, &huffNode{count: c, symbol: s})
+		}
+	}
+	switch len(h) {
+	case 0:
+		return hc
+	case 1:
+		hc.Lengths[h[0].symbol] = 1
+		hc.Codes[h[0].symbol] = 0
+		return hc
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*huffNode)
+		b := heap.Pop(&h).(*huffNode)
+		heap.Push(&h, &huffNode{count: a.count + b.count, symbol: -1, left: a, right: b})
+	}
+	root := h.Peek()
+	assignLengths(root, 0, hc.Lengths)
+	assignCanonicalCodes(&hc)
+	return hc
+}
+
+func assignLengths(n *huffNode, depth int, lengths []int) {
+	if n.left == nil && n.right == nil {
+		lengths[n.symbol] = depth
+		return
+	}
+	assignLengths(n.left, depth+1, lengths)
+	assignLengths(n.right, depth+1, lengths)
+}
+
+// assignCanonicalCodes derives canonical codes from lengths (shortest
+// first, ties by symbol), making the code self-describing from lengths
+// alone.
+func assignCanonicalCodes(hc *HuffmanCode) {
+	type sym struct{ s, l int }
+	var syms []sym
+	for s, l := range hc.Lengths {
+		if l > 0 {
+			syms = append(syms, sym{s, l})
+		}
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].l != syms[j].l {
+			return syms[i].l < syms[j].l
+		}
+		return syms[i].s < syms[j].s
+	})
+	code := uint64(0)
+	prevLen := 0
+	for _, v := range syms {
+		code <<= uint(v.l - prevLen)
+		hc.Codes[v.s] = code
+		code++
+		prevLen = v.l
+	}
+}
+
+// EncodedBits returns the total payload size of symbols under the code.
+func (hc HuffmanCode) EncodedBits(symbols []int) int {
+	bits := 0
+	for _, s := range symbols {
+		bits += hc.Lengths[s]
+	}
+	return bits
+}
+
+// Encode packs symbols into a bitstream (MSB-first per code).
+func (hc HuffmanCode) Encode(symbols []int) []byte {
+	var out []byte
+	var acc uint64
+	nbits := 0
+	for _, s := range symbols {
+		l := hc.Lengths[s]
+		if l == 0 {
+			panic(fmt.Sprintf("quantize: symbol %d has no Huffman code", s))
+		}
+		acc = acc<<uint(l) | hc.Codes[s]
+		nbits += l
+		for nbits >= 8 {
+			out = append(out, byte(acc>>uint(nbits-8)))
+			nbits -= 8
+		}
+	}
+	if nbits > 0 {
+		out = append(out, byte(acc<<uint(8-nbits)))
+	}
+	return out
+}
+
+// Decode unpacks n symbols from a bitstream produced by Encode.
+func (hc HuffmanCode) Decode(data []byte, n int) ([]int, error) {
+	// Build a (length, code) → symbol lookup.
+	type key struct {
+		l    int
+		code uint64
+	}
+	lut := map[key]int{}
+	maxLen := 0
+	for s, l := range hc.Lengths {
+		if l > 0 {
+			lut[key{l, hc.Codes[s]}] = s
+			if l > maxLen {
+				maxLen = l
+			}
+		}
+	}
+	out := make([]int, 0, n)
+	var acc uint64
+	accBits := 0
+	bitPos := 0
+	for len(out) < n {
+		byteIdx := bitPos / 8
+		if byteIdx >= len(data) {
+			return nil, fmt.Errorf("quantize: Huffman stream truncated at bit %d", bitPos)
+		}
+		bit := (data[byteIdx] >> uint(7-bitPos%8)) & 1
+		acc = acc<<1 | uint64(bit)
+		accBits++
+		bitPos++
+		if accBits > maxLen {
+			return nil, fmt.Errorf("quantize: invalid Huffman stream at bit %d", bitPos)
+		}
+		if s, ok := lut[key{accBits, acc}]; ok {
+			out = append(out, s)
+			acc = 0
+			accBits = 0
+		}
+	}
+	return out, nil
+}
+
+// HuffmanSize reports the entropy-coded index size of a quantized model in
+// bits, per unit and total, plus the flat (fixed-width) size for
+// comparison.
+func HuffmanSize(a *Applied) (huffmanBits, flatBits int) {
+	for _, u := range a.Units {
+		counts := make([]int, u.Book.NumLevels())
+		var symbols []int
+		for _, assign := range u.Assign {
+			for _, k := range assign {
+				counts[k]++
+				symbols = append(symbols, k)
+			}
+		}
+		hc := BuildHuffman(counts)
+		huffmanBits += hc.EncodedBits(symbols)
+		flatBits += u.Book.Bits() * len(symbols)
+	}
+	return huffmanBits, flatBits
+}

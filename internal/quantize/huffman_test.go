@@ -1,0 +1,216 @@
+package quantize
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHuffmanRoundTrip(t *testing.T) {
+	counts := []int{50, 30, 15, 5}
+	hc := BuildHuffman(counts)
+	rng := rand.New(rand.NewSource(1))
+	symbols := make([]int, 500)
+	for i := range symbols {
+		symbols[i] = rng.Intn(4)
+	}
+	data := hc.Encode(symbols)
+	got, err := hc.Decode(data, len(symbols))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range symbols {
+		if got[i] != symbols[i] {
+			t.Fatalf("symbol %d: %d, want %d", i, got[i], symbols[i])
+		}
+	}
+}
+
+func TestHuffmanFrequentSymbolsShorter(t *testing.T) {
+	counts := []int{1000, 10, 10, 10}
+	hc := BuildHuffman(counts)
+	if hc.Lengths[0] >= hc.Lengths[1] {
+		t.Fatalf("frequent symbol not shorter: %v", hc.Lengths)
+	}
+}
+
+func TestHuffmanSingleSymbol(t *testing.T) {
+	hc := BuildHuffman([]int{0, 42, 0})
+	if hc.Lengths[1] != 1 {
+		t.Fatalf("single-symbol code length %d", hc.Lengths[1])
+	}
+	data := hc.Encode([]int{1, 1, 1})
+	got, err := hc.Decode(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range got {
+		if s != 1 {
+			t.Fatal("single-symbol decode wrong")
+		}
+	}
+}
+
+func TestHuffmanEmptyCounts(t *testing.T) {
+	hc := BuildHuffman([]int{0, 0})
+	for _, l := range hc.Lengths {
+		if l != 0 {
+			t.Fatal("unused symbols must have no code")
+		}
+	}
+}
+
+func TestHuffmanUncodedSymbolPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BuildHuffman([]int{5, 0}).Encode([]int{1})
+}
+
+func TestHuffmanTruncatedStream(t *testing.T) {
+	hc := BuildHuffman([]int{10, 10})
+	data := hc.Encode([]int{0, 1, 0})
+	if _, err := hc.Decode(data, 100); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+// Property: Huffman payload never exceeds the fixed-width payload plus one
+// byte of padding, and round-trips for random streams.
+func TestHuffmanBeatsFlatProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Skewed distribution over 16 symbols.
+		counts := make([]int, 16)
+		symbols := make([]int, 300)
+		for i := range symbols {
+			s := int(rng.ExpFloat64() * 2)
+			if s > 15 {
+				s = 15
+			}
+			symbols[i] = s
+			counts[s]++
+		}
+		hc := BuildHuffman(counts)
+		bits := hc.EncodedBits(symbols)
+		if bits > 4*len(symbols)+8 {
+			return false
+		}
+		data := hc.Encode(symbols)
+		got, err := hc.Decode(data, len(symbols))
+		if err != nil {
+			return false
+		}
+		for i := range symbols {
+			if got[i] != symbols[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHuffmanSizeOnQuantizedModel(t *testing.T) {
+	m := testModel(30)
+	a := QuantizeModel(m, WeightedEntropy{}, 16)
+	hb, fb := HuffmanSize(a)
+	if fb != 4*m.NumWeightParams() {
+		t.Fatalf("flat bits %d, want %d", fb, 4*m.NumWeightParams())
+	}
+	if hb <= 0 || hb > fb+8*len(a.Units) {
+		t.Fatalf("huffman bits %d vs flat %d", hb, fb)
+	}
+}
+
+func TestPruneMagnitudeSparsity(t *testing.T) {
+	m := testModel(31)
+	mask := PruneMagnitude(m.WeightParams(), 0.5)
+	if mask.Sparsity < 0.45 || mask.Sparsity > 0.55 {
+		t.Fatalf("sparsity %v, want ≈0.5", mask.Sparsity)
+	}
+	zeros := 0
+	total := 0
+	for _, p := range m.WeightParams() {
+		for _, v := range p.Value.Data() {
+			if v == 0 {
+				zeros++
+			}
+			total++
+		}
+	}
+	if got := float64(zeros) / float64(total); got < 0.45 {
+		t.Fatalf("actual zero fraction %v", got)
+	}
+}
+
+func TestPrunePreservesLargeWeights(t *testing.T) {
+	m := testModel(32)
+	// Find the largest-magnitude weight.
+	var maxV float64
+	for _, p := range m.WeightParams() {
+		for _, v := range p.Value.Data() {
+			if a := abs(v); a > maxV {
+				maxV = a
+			}
+		}
+	}
+	PruneMagnitude(m.WeightParams(), 0.8)
+	found := false
+	for _, p := range m.WeightParams() {
+		for _, v := range p.Value.Data() {
+			if abs(v) == maxV {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("pruning removed the largest weight")
+	}
+}
+
+func TestPruneReapplyAndMaskGrads(t *testing.T) {
+	m := testModel(33)
+	mask := PruneMagnitude(m.WeightParams(), 0.5)
+	// Perturb all weights and gradients, then reapply.
+	for _, p := range m.WeightParams() {
+		p.Value.AddScalar(1)
+		p.Grad.Fill(1)
+	}
+	mask.Reapply()
+	mask.MaskGrads()
+	for pi, p := range mask.Params {
+		vd, gd := p.Value.Data(), p.Grad.Data()
+		for i, keep := range mask.Kept[pi] {
+			if !keep && (vd[i] != 0 || gd[i] != 0) {
+				t.Fatal("pruned element revived")
+			}
+			if keep && vd[i] == 0 {
+				t.Fatal("kept element zeroed")
+			}
+		}
+	}
+	if f := mask.NonZeroFraction(); f < 0.45 || f > 0.55 {
+		t.Fatalf("NonZeroFraction %v", f)
+	}
+}
+
+func TestPruneBadSparsityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PruneMagnitude(nil, 1.0)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,93 @@
+package quantize
+
+import (
+	"math"
+	"sort"
+)
+
+// Linear is the deep-compression style quantizer: centroids are initialized
+// linearly spaced over the weight range, then refined with a few Lloyd
+// (1-D k-means) iterations. Boundaries are the midpoints between adjacent
+// centroids.
+type Linear struct {
+	// LloydIters is the number of refinement passes (0 keeps the linear
+	// initialization, matching deep compression's "linear init").
+	LloydIters int
+}
+
+// Name implements Quantizer.
+func (Linear) Name() string { return "linear" }
+
+// Fit implements Quantizer.
+func (l Linear) Fit(weights []float64, levels int) Codebook {
+	if levels < 1 {
+		panic("quantize: need at least one level")
+	}
+	if len(weights) == 0 {
+		panic("quantize: empty weight sample")
+	}
+	lo, hi := weights[0], weights[0]
+	for _, w := range weights {
+		if w < lo {
+			lo = w
+		}
+		if w > hi {
+			hi = w
+		}
+	}
+	if hi == lo {
+		hi = lo + 1e-12
+	}
+	centroids := make([]float64, levels)
+	for i := range centroids {
+		centroids[i] = lo + (float64(i)+0.5)*(hi-lo)/float64(levels)
+	}
+	if l.LloydIters > 0 {
+		sorted := append([]float64(nil), weights...)
+		sort.Float64s(sorted)
+		for it := 0; it < l.LloydIters; it++ {
+			centroids = lloydPass(sorted, centroids)
+		}
+	}
+	return codebookFromCentroids(centroids, lo)
+}
+
+// lloydPass reassigns sorted weights to nearest centroids and recomputes
+// centroid means. Empty clusters keep their previous centroid.
+func lloydPass(sorted, centroids []float64) []float64 {
+	k := len(centroids)
+	sums := make([]float64, k)
+	counts := make([]int, k)
+	ci := 0
+	for _, w := range sorted {
+		// Advance while the next centroid is closer.
+		for ci < k-1 && math.Abs(centroids[ci+1]-w) < math.Abs(centroids[ci]-w) {
+			ci++
+		}
+		sums[ci] += w
+		counts[ci]++
+	}
+	out := make([]float64, k)
+	for i := range out {
+		if counts[i] > 0 {
+			out[i] = sums[i] / float64(counts[i])
+		} else {
+			out[i] = centroids[i]
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// codebookFromCentroids builds midpoint boundaries around sorted centroids.
+func codebookFromCentroids(centroids []float64, lo float64) Codebook {
+	k := len(centroids)
+	bounds := make([]float64, k+1)
+	bounds[0] = math.Inf(-1)
+	for i := 1; i < k; i++ {
+		bounds[i] = (centroids[i-1] + centroids[i]) / 2
+	}
+	bounds[k] = math.Inf(1)
+	levels := append([]float64(nil), centroids...)
+	return Codebook{Levels: levels, Bounds: bounds}
+}

@@ -1,0 +1,105 @@
+package quantize
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+)
+
+// Unit is a set of parameters quantized together under one shared codebook
+// (one "codebook scope"): a single layer, a layer group, or a whole model.
+type Unit struct {
+	// Name labels the unit in reports.
+	Name string
+	// Params are the quantized parameters.
+	Params []*nn.Param
+	// Book is the fitted codebook.
+	Book Codebook
+	// Assign holds, parallel to Params, each element's cluster index.
+	Assign [][]int
+	// Quantizer records which scheme produced the codebook.
+	Quantizer string
+	// Levels is the cluster count requested.
+	Levels int
+}
+
+// NumEl returns the unit's total scalar count.
+func (u *Unit) NumEl() int {
+	n := 0
+	for _, p := range u.Params {
+		n += p.NumEl()
+	}
+	return n
+}
+
+// Applied records the full quantization of a model as a list of units, and
+// is the handle the fine-tuner uses to keep weights tied to centroids.
+type Applied struct {
+	Units []*Unit
+}
+
+// QuantizeUnit fits one codebook over the concatenated values of params and
+// quantizes them in place, recording assignments for fine-tuning.
+func (a *Applied) QuantizeUnit(name string, params []*nn.Param, q Quantizer, levels int) *Unit {
+	if len(params) == 0 {
+		panic(fmt.Sprintf("quantize: unit %q has no parameters", name))
+	}
+	var all []float64
+	for _, p := range params {
+		all = append(all, p.Value.Data()...)
+	}
+	book := q.Fit(all, levels)
+	u := &Unit{
+		Name: name, Params: params, Book: book,
+		Quantizer: q.Name(), Levels: levels,
+	}
+	for _, p := range params {
+		u.Assign = append(u.Assign, book.QuantizeAll(p.Value.Data()))
+	}
+	a.Units = append(a.Units, u)
+	return u
+}
+
+// QuantizePerLayer fits an independent codebook for every parameter.
+func (a *Applied) QuantizePerLayer(params []*nn.Param, q Quantizer, levels int) {
+	for _, p := range params {
+		a.QuantizeUnit(p.Name, []*nn.Param{p}, q, levels)
+	}
+}
+
+// QuantizeModel quantizes all weight parameters of m with one codebook per
+// layer (the usual deployment granularity) and returns the record.
+func QuantizeModel(m *nn.Model, q Quantizer, levels int) *Applied {
+	a := &Applied{}
+	a.QuantizePerLayer(m.WeightParams(), q, levels)
+	return a
+}
+
+// Rewrite re-materializes every quantized parameter from its centroids
+// (used after centroid fine-tuning updates Book.Levels).
+func (a *Applied) Rewrite() {
+	for _, u := range a.Units {
+		for pi, p := range u.Params {
+			vd := p.Value.Data()
+			for i, k := range u.Assign[pi] {
+				vd[i] = u.Book.Levels[k]
+			}
+		}
+	}
+}
+
+// UniqueValues reports, per unit, how many distinct values the quantized
+// parameters actually take (≤ Levels; a compression sanity check).
+func (a *Applied) UniqueValues() map[string]int {
+	out := make(map[string]int, len(a.Units))
+	for _, u := range a.Units {
+		seen := make(map[float64]bool)
+		for _, p := range u.Params {
+			for _, v := range p.Value.Data() {
+				seen[v] = true
+			}
+		}
+		out[u.Name] = len(seen)
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+package quantize
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func testModel(seed int64) *nn.Model {
+	return nn.NewMLP("m", 8, []int{16, 12}, 4, seed)
+}
+
+func trainingBlob(n int, seed int64) (*tensor.Tensor, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	x := tensor.New(n, 8)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % 4
+		for j := 0; j < 8; j++ {
+			v := rng.NormFloat64() * 0.3
+			if j == c*2 {
+				v += 2
+			}
+			x.Set(v, i, j)
+		}
+		y[i] = c
+	}
+	return x, y
+}
+
+func TestQuantizeModelReducesDistinctValues(t *testing.T) {
+	m := testModel(1)
+	a := QuantizeModel(m, WeightedEntropy{}, 16)
+	uniq := a.UniqueValues()
+	for name, n := range uniq {
+		if n > 16 {
+			t.Fatalf("unit %s has %d distinct values", name, n)
+		}
+	}
+	if len(a.Units) != len(m.WeightParams()) {
+		t.Fatalf("units %d, want %d", len(a.Units), len(m.WeightParams()))
+	}
+}
+
+func TestQuantizeUnitSharedCodebook(t *testing.T) {
+	m := testModel(2)
+	a := &Applied{}
+	u := a.QuantizeUnit("all", m.WeightParams(), Linear{LloydIters: 3}, 8)
+	if u.NumEl() != m.NumWeightParams() {
+		t.Fatalf("unit NumEl %d, want %d", u.NumEl(), m.NumWeightParams())
+	}
+	// All values across all params must come from one 8-entry codebook.
+	seen := map[float64]bool{}
+	for _, p := range m.WeightParams() {
+		for _, v := range p.Value.Data() {
+			seen[v] = true
+		}
+	}
+	if len(seen) > 8 {
+		t.Fatalf("%d distinct values across unit", len(seen))
+	}
+}
+
+func TestQuantizeUnitEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(&Applied{}).QuantizeUnit("x", nil, Linear{}, 4)
+}
+
+func TestRewriteTracksCentroidEdits(t *testing.T) {
+	m := testModel(3)
+	a := &Applied{}
+	u := a.QuantizeUnit("all", m.WeightParams(), Linear{}, 4)
+	for i := range u.Book.Levels {
+		u.Book.Levels[i] = float64(100 + i)
+	}
+	a.Rewrite()
+	for _, p := range m.WeightParams() {
+		for _, v := range p.Value.Data() {
+			if v < 100 || v > 103 {
+				t.Fatalf("value %v not rewritten from centroids", v)
+			}
+		}
+	}
+}
+
+func TestAssignmentsMatchValues(t *testing.T) {
+	m := testModel(4)
+	a := &Applied{}
+	u := a.QuantizeUnit("all", m.WeightParams(), WeightedEntropy{}, 8)
+	for pi, p := range u.Params {
+		vd := p.Value.Data()
+		for i, k := range u.Assign[pi] {
+			if vd[i] != u.Book.Levels[k] {
+				t.Fatalf("param %s elem %d: value %v, centroid %v", p.Name, i, vd[i], u.Book.Levels[k])
+			}
+		}
+	}
+}
+
+// Quantization at a generous level count should barely hurt a trained
+// model, and fine-tuning should recover (or improve) accuracy at a low
+// level count. This is the substrate behaviour Tables I and III depend on.
+func TestQuantizeAndFineTuneAccuracy(t *testing.T) {
+	m := testModel(5)
+	x, y := trainingBlob(400, 5)
+	// Train to high accuracy with plain SGD.
+	trainSimple(m, x, y, 30, 0.1)
+	accFull := m.Accuracy(x, y, 64)
+	if accFull < 0.95 {
+		t.Fatalf("base model accuracy %v too low for the test to be meaningful", accFull)
+	}
+
+	// Aggressive 2-level quantization hurts.
+	harsh := testModel(5)
+	copyParams(harsh, m)
+	aHarsh := QuantizeModel(harsh, WeightedEntropy{}, 2)
+	accHarsh := harsh.Accuracy(x, y, 64)
+
+	// Fine-tuning recovers some accuracy while staying 2-valued.
+	FineTune(harsh, aHarsh, x, y, FineTuneConfig{Epochs: 10, BatchSize: 32, LR: 0.05, Seed: 5})
+	accTuned := harsh.Accuracy(x, y, 64)
+	if accTuned < accHarsh-0.05 {
+		t.Fatalf("fine-tuning hurt: %v -> %v", accHarsh, accTuned)
+	}
+	for name, n := range aHarsh.UniqueValues() {
+		if n > 2 {
+			t.Fatalf("unit %s has %d distinct values after fine-tune", name, n)
+		}
+	}
+
+	// Generous 64-level quantization barely hurts.
+	soft := testModel(5)
+	copyParams(soft, m)
+	QuantizeModel(soft, WeightedEntropy{}, 64)
+	accSoft := soft.Accuracy(x, y, 64)
+	if accSoft < accFull-0.05 {
+		t.Fatalf("64-level quantization dropped accuracy %v -> %v", accFull, accSoft)
+	}
+}
+
+func TestFineTuneNoEpochsIsNoop(t *testing.T) {
+	m := testModel(6)
+	x, y := trainingBlob(64, 6)
+	a := QuantizeModel(m, Linear{}, 4)
+	before := snapshot(m)
+	FineTune(m, a, x, y, FineTuneConfig{Epochs: 0})
+	after := snapshot(m)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("FineTune with 0 epochs modified the model")
+		}
+	}
+}
+
+func trainSimple(m *nn.Model, x *tensor.Tensor, y []int, epochs int, lr float64) {
+	n := x.Dim(0)
+	bs := 32
+	rng := rand.New(rand.NewSource(9))
+	perm := rng.Perm(n)
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		for lo := 0; lo+bs <= n; lo += bs {
+			bx := tensor.New(bs, x.Dim(1))
+			by := make([]int, bs)
+			for i, src := range perm[lo : lo+bs] {
+				copy(bx.Data()[i*x.Dim(1):(i+1)*x.Dim(1)], x.Data()[src*x.Dim(1):(src+1)*x.Dim(1)])
+				by[i] = y[src]
+			}
+			m.ZeroGrad()
+			logits := m.ForwardTrain(bx)
+			_, grad := nn.SoftmaxCrossEntropy(logits, by)
+			m.Backward(grad)
+			for _, p := range m.Params() {
+				p.Value.AddScaled(-lr, p.Grad)
+			}
+		}
+	}
+}
+
+func copyParams(dst, src *nn.Model) {
+	dp, sp := dst.Params(), src.Params()
+	for i := range dp {
+		dp[i].Value.CopyFrom(sp[i].Value)
+	}
+}
+
+func snapshot(m *nn.Model) []float64 {
+	var out []float64
+	for _, p := range m.Params() {
+		out = append(out, p.Value.Data()...)
+	}
+	return out
+}

@@ -1,0 +1,312 @@
+package quantize
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/img"
+)
+
+func gaussianSample(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64()
+	}
+	return out
+}
+
+func TestCodebookIndexAndQuantize(t *testing.T) {
+	cb := Codebook{
+		Levels: []float64{-1, 0, 1},
+		Bounds: []float64{math.Inf(-1), -0.5, 0.5, math.Inf(1)},
+	}
+	cases := []struct {
+		w, want float64
+	}{
+		{-10, -1}, {-0.51, -1}, {-0.5, 0}, {0, 0}, {0.49, 0}, {0.5, 1}, {7, 1},
+	}
+	for _, c := range cases {
+		if got := cb.Quantize(c.w); got != c.want {
+			t.Fatalf("Quantize(%v) = %v, want %v", c.w, got, c.want)
+		}
+	}
+}
+
+func TestCodebookBits(t *testing.T) {
+	for _, c := range []struct{ levels, bits int }{
+		{1, 1}, {2, 1}, {3, 2}, {4, 2}, {8, 3}, {16, 4}, {32, 5}, {256, 8},
+	} {
+		cb := Codebook{Levels: make([]float64, c.levels)}
+		if got := cb.Bits(); got != c.bits {
+			t.Fatalf("Bits(%d levels) = %d, want %d", c.levels, got, c.bits)
+		}
+	}
+}
+
+func TestCodebookValidate(t *testing.T) {
+	good := Linear{}.Fit(gaussianSample(100, 1), 4)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid codebook rejected: %v", err)
+	}
+	bad := Codebook{Levels: []float64{0}, Bounds: []float64{0}}
+	if bad.Validate() == nil {
+		t.Fatal("invalid codebook accepted")
+	}
+	unsorted := Codebook{Levels: []float64{0, 1}, Bounds: []float64{1, 0, math.Inf(1)}}
+	if unsorted.Validate() == nil {
+		t.Fatal("unsorted bounds accepted")
+	}
+	noInf := Codebook{Levels: []float64{0}, Bounds: []float64{0, 5}}
+	if noInf.Validate() == nil {
+		t.Fatal("finite last bound accepted")
+	}
+}
+
+func TestQuantizeAllAssignments(t *testing.T) {
+	w := []float64{-2, -0.1, 0.1, 2}
+	cb := Codebook{
+		Levels: []float64{-1, 1},
+		Bounds: []float64{math.Inf(-1), 0, math.Inf(1)},
+	}
+	idx := cb.QuantizeAll(w)
+	wantW := []float64{-1, -1, 1, 1}
+	wantI := []int{0, 0, 1, 1}
+	for i := range w {
+		if w[i] != wantW[i] || idx[i] != wantI[i] {
+			t.Fatalf("element %d: (%v, %d), want (%v, %d)", i, w[i], idx[i], wantW[i], wantI[i])
+		}
+	}
+}
+
+func TestLinearFitCoversRange(t *testing.T) {
+	w := gaussianSample(1000, 2)
+	cb := Linear{}.Fit(w, 8)
+	if err := cb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cb.NumLevels() != 8 {
+		t.Fatalf("levels = %d", cb.NumLevels())
+	}
+	// Quantized values must reduce distinct count to ≤ 8.
+	seen := map[float64]bool{}
+	for _, v := range w {
+		seen[cb.Quantize(v)] = true
+	}
+	if len(seen) > 8 {
+		t.Fatalf("%d distinct quantized values", len(seen))
+	}
+}
+
+func TestLinearLloydReducesMSE(t *testing.T) {
+	w := gaussianSample(5000, 3)
+	plain := Linear{}.Fit(w, 8)
+	lloyd := Linear{LloydIters: 10}.Fit(w, 8)
+	mse := func(cb Codebook) float64 {
+		s := 0.0
+		for _, v := range w {
+			d := v - cb.Quantize(v)
+			s += d * d
+		}
+		return s
+	}
+	if mse(lloyd) >= mse(plain) {
+		t.Fatalf("Lloyd did not reduce MSE: %v vs %v", mse(lloyd), mse(plain))
+	}
+}
+
+func TestWeightedEntropyEqualImportanceMass(t *testing.T) {
+	w := gaussianSample(20000, 4)
+	cb := WeightedEntropy{}.Fit(w, 8)
+	if err := cb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Importance mass per cluster should be near-equal (within 30%).
+	mass := make([]float64, cb.NumLevels())
+	total := 0.0
+	for _, v := range w {
+		mass[cb.Index(v)] += v * v
+		total += v * v
+	}
+	want := total / float64(cb.NumLevels())
+	for i, m := range mass {
+		if m < want*0.5 || m > want*1.5 {
+			t.Fatalf("cluster %d mass %v, want ≈%v", i, m, want)
+		}
+	}
+}
+
+func TestWeightedEntropyBeatsLinearOnEntropy(t *testing.T) {
+	// Heavy-tailed weights: WEQ should spread importance mass more evenly
+	// than a linear partition, scoring higher weighted entropy.
+	rng := rand.New(rand.NewSource(5))
+	w := make([]float64, 10000)
+	for i := range w {
+		w[i] = rng.NormFloat64() * math.Exp(rng.NormFloat64())
+	}
+	weq := WeightedEntropy{}.Fit(w, 16)
+	lin := Linear{}.Fit(w, 16)
+	he := WeightedEntropyOf(weq, w)
+	hl := WeightedEntropyOf(lin, w)
+	if he <= hl {
+		t.Fatalf("WEQ entropy %v not above linear %v", he, hl)
+	}
+}
+
+func TestWeightedEntropyAllZeros(t *testing.T) {
+	w := make([]float64, 100)
+	cb := WeightedEntropy{}.Fit(w, 4)
+	if err := cb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cb.Quantize(0); math.Abs(got) > 1e-9 {
+		t.Fatalf("zero weights quantized to %v", got)
+	}
+}
+
+// Property: every quantizer's output is idempotent — quantizing quantized
+// weights changes nothing.
+func TestQuantizerIdempotenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		w := gaussianSample(500, seed)
+		for _, q := range []Quantizer{Linear{}, Linear{LloydIters: 3}, WeightedEntropy{}} {
+			cb := q.Fit(w, 8)
+			q1 := make([]float64, len(w))
+			for i, v := range w {
+				q1[i] = cb.Quantize(v)
+			}
+			for _, v := range q1 {
+				if cb.Quantize(v) != v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func makeTargets(n int, seed int64) []*img.Image {
+	rng := rand.New(rand.NewSource(seed))
+	var out []*img.Image
+	for k := 0; k < n; k++ {
+		im := img.New(1, 8, 8)
+		for i := range im.Pix {
+			// Bimodal pixel distribution: dark mass + bright tail.
+			if rng.Float64() < 0.7 {
+				im.Pix[i] = math.Abs(rng.NormFloat64()) * 40
+			} else {
+				im.Pix[i] = 255 - math.Abs(rng.NormFloat64())*30
+			}
+			if im.Pix[i] > 255 {
+				im.Pix[i] = 255
+			}
+		}
+		out = append(out, im)
+	}
+	return out
+}
+
+func TestTargetCorrelatedFollowsHistogram(t *testing.T) {
+	targets := makeTargets(20, 6)
+	w := gaussianSample(50000, 7)
+	levels := 16
+	cb := TargetCorrelated{Targets: targets}.Fit(w, levels)
+	if err := cb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Cluster occupancy over the weights must match the pixel histogram.
+	var pixels []float64
+	for _, im := range targets {
+		pixels = append(pixels, im.Pix...)
+	}
+	h := img.HistogramOf(pixels, levels)
+	counts := make([]float64, levels)
+	for _, v := range w {
+		counts[cb.Index(v)]++
+	}
+	for i := range counts {
+		counts[i] /= float64(len(w))
+		if math.Abs(counts[i]-h[i]) > 0.02 {
+			t.Fatalf("cluster %d occupancy %v, histogram %v", i, counts[i], h[i])
+		}
+	}
+}
+
+func TestTargetCorrelatedEmptyBuckets(t *testing.T) {
+	// A constant target image leaves most histogram buckets empty; the
+	// quantizer must still produce a valid codebook.
+	im := img.New(1, 4, 4)
+	for i := range im.Pix {
+		im.Pix[i] = 128
+	}
+	w := gaussianSample(1000, 8)
+	cb := TargetCorrelated{Targets: []*img.Image{im}}.Fit(w, 8)
+	if err := cb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// All weights land in the single occupied cluster.
+	seen := map[float64]bool{}
+	for _, v := range w {
+		seen[cb.Quantize(v)] = true
+	}
+	if len(seen) != 1 {
+		t.Fatalf("%d distinct values, want 1", len(seen))
+	}
+}
+
+func TestTargetCorrelatedPanicsWithoutTargets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TargetCorrelated{}.Fit(gaussianSample(10, 9), 4)
+}
+
+func TestFitPanicsOnBadInput(t *testing.T) {
+	for _, f := range []func(){
+		func() { Linear{}.Fit(nil, 4) },
+		func() { Linear{}.Fit([]float64{1}, 0) },
+		func() { WeightedEntropy{}.Fit(nil, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMonotoneQuantizationProperty(t *testing.T) {
+	// Property: quantization preserves order: w1 <= w2 → Q(w1) <= Q(w2).
+	f := func(seed int64) bool {
+		w := gaussianSample(300, seed)
+		targets := makeTargets(4, seed)
+		for _, q := range []Quantizer{Linear{LloydIters: 2}, WeightedEntropy{}, TargetCorrelated{Targets: targets}} {
+			cb := q.Fit(w, 8)
+			sorted := append([]float64(nil), w...)
+			sort.Float64s(sorted)
+			prev := math.Inf(-1)
+			for _, v := range sorted {
+				qv := cb.Quantize(v)
+				if qv < prev-1e-12 {
+					return false
+				}
+				prev = qv
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

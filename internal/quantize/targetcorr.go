@@ -1,0 +1,103 @@
+package quantize
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/img"
+)
+
+// TargetCorrelated is the paper's Algorithm 1: image-based weight
+// quantization. The histogram of the correlation target's pixel values
+// (l buckets over [0,255]) decides how many of the sorted weights fall into
+// each cluster, so the quantized weight distribution mirrors the target
+// pixel distribution and the weight↔pixel correlation built by the
+// regularizer survives quantization (Fig 3b).
+type TargetCorrelated struct {
+	// Targets is the correlation target image set T.
+	Targets []*img.Image
+}
+
+// Name implements Quantizer.
+func (TargetCorrelated) Name() string { return "target-correlated" }
+
+// Fit implements Quantizer. It follows Algorithm 1 line by line:
+//
+//	H ← hist(T, l)                       (line 3)
+//	b_i ← b_{i−1} + H[i−1]·ℓ             (lines 4–7, cumulative rounding)
+//	S ← sort(w)                          (line 8)
+//	r_i ← mean(S[b_i : b_{i+1}])         (lines 9–12)
+//	v_i ← S[b_i], v_l ← ∞                (lines 11, 13)
+//	q_i ← f_q(w_i, r, v)                 (lines 14–16)
+func (t TargetCorrelated) Fit(weights []float64, levels int) Codebook {
+	if levels < 1 {
+		panic("quantize: need at least one level")
+	}
+	if len(weights) == 0 {
+		panic("quantize: empty weight sample")
+	}
+	if len(t.Targets) == 0 {
+		panic("quantize: TargetCorrelated needs a non-empty target set")
+	}
+	// Line 3: histogram of all target pixels into l buckets.
+	var pixels []float64
+	for _, im := range t.Targets {
+		pixels = append(pixels, im.Pix...)
+	}
+	h := img.HistogramOf(pixels, levels)
+
+	// Lines 4–7: cluster boundary indices over the sorted weights.
+	// Cumulative rounding keeps Σ cluster sizes == ℓ exactly.
+	n := len(weights)
+	bIdx := make([]int, levels+1)
+	cum := 0.0
+	for i := 1; i <= levels; i++ {
+		cum += h[i-1]
+		bIdx[i] = int(math.Round(cum * float64(n)))
+		if bIdx[i] < bIdx[i-1] {
+			bIdx[i] = bIdx[i-1]
+		}
+		if bIdx[i] > n {
+			bIdx[i] = n
+		}
+	}
+	bIdx[levels] = n
+
+	// Line 8.
+	sorted := append([]float64(nil), weights...)
+	sort.Float64s(sorted)
+
+	// Lines 9–13: representatives and boundary values.
+	repr := make([]float64, levels)
+	bounds := make([]float64, levels+1)
+	bounds[0] = math.Inf(-1)
+	for i := 0; i < levels; i++ {
+		lo, hi := bIdx[i], bIdx[i+1]
+		if i > 0 {
+			if lo < n {
+				bounds[i] = sorted[lo]
+			} else {
+				bounds[i] = math.Inf(1)
+			}
+		}
+		if hi > lo {
+			s := 0.0
+			for _, w := range sorted[lo:hi] {
+				s += w
+			}
+			repr[i] = s / float64(hi-lo)
+		} else {
+			// Empty cluster (target histogram bucket with zero mass):
+			// pin the representative at the boundary so the level list
+			// stays monotone; the cluster captures no weights because
+			// its bounds coincide.
+			if lo < n {
+				repr[i] = sorted[lo]
+			} else {
+				repr[i] = sorted[n-1]
+			}
+		}
+	}
+	bounds[levels] = math.Inf(1)
+	return Codebook{Levels: repr, Bounds: bounds}
+}

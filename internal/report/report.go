@@ -1,0 +1,149 @@
+// Package report renders the experiment results as aligned text tables and
+// ASCII charts — the repo's stand-ins for the paper's tables and figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple aligned-column text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	var sb strings.Builder
+	for i, h := range t.Headers {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(pad(h, widths[i]))
+	}
+	fmt.Fprintln(w, sb.String())
+	fmt.Fprintln(w, strings.Repeat("-", len(sb.String())))
+	for _, r := range t.Rows {
+		var rb strings.Builder
+		for i, c := range r {
+			if i > 0 {
+				rb.WriteString("  ")
+			}
+			width := len(c)
+			if i < len(widths) {
+				width = widths[i]
+			}
+			rb.WriteString(pad(c, width))
+		}
+		fmt.Fprintln(w, rb.String())
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// BarChart renders horizontal bars for labeled values, scaled to maxWidth
+// characters.
+func BarChart(w io.Writer, title string, labels []string, values []float64, maxWidth int) {
+	if title != "" {
+		fmt.Fprintf(w, "%s\n", title)
+	}
+	maxV := 0.0
+	maxL := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	for i, v := range values {
+		n := int(v / maxV * float64(maxWidth))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(w, "%s |%s %.3g\n", pad(labels[i], maxL), strings.Repeat("#", n), v)
+	}
+	fmt.Fprintln(w)
+}
+
+// Histogram renders a vertical-bar ASCII histogram of normalized
+// frequencies over the labeled range.
+func Histogram(w io.Writer, title string, freq []float64, lo, hi float64, height int) {
+	if title != "" {
+		fmt.Fprintf(w, "%s\n", title)
+	}
+	maxF := 0.0
+	for _, f := range freq {
+		if f > maxF {
+			maxF = f
+		}
+	}
+	if maxF == 0 {
+		maxF = 1
+	}
+	for row := height; row >= 1; row-- {
+		thresh := float64(row) / float64(height) * maxF
+		var sb strings.Builder
+		for _, f := range freq {
+			if f >= thresh {
+				sb.WriteString("#")
+			} else {
+				sb.WriteString(" ")
+			}
+		}
+		fmt.Fprintf(w, "|%s|\n", sb.String())
+	}
+	fmt.Fprintf(w, "%s\n", strings.Repeat("-", len(freq)+2))
+	fmt.Fprintf(w, " %-8.3g%*.3g\n\n", lo, len(freq)-7, hi)
+}
+
+// Percent formats a fraction as a percentage string.
+func Percent(f float64) string { return fmt.Sprintf("%.2f%%", 100*f) }

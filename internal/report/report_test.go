@@ -1,0 +1,86 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRendersAligned(t *testing.T) {
+	tb := NewTable("Title", "col1", "longer column", "c")
+	tb.AddRow("a", 1.5, 42)
+	tb.AddRow("longer cell", "x", "y")
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "Title") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "longer column") {
+		t.Fatal("missing header")
+	}
+	if !strings.Contains(out, "1.50") {
+		t.Fatal("float not formatted to 2 decimals")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, header, rule, 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("rendered %d lines, want 5", len(lines))
+	}
+	// Columns align: first data column width fits "longer cell".
+	if !strings.HasPrefix(lines[3], "a          ") {
+		t.Fatalf("row not padded: %q", lines[3])
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "h")
+	tb.AddRow("v")
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	if strings.HasPrefix(buf.String(), "\n") {
+		t.Fatal("empty title should not emit a blank line")
+	}
+}
+
+func TestBarChartScales(t *testing.T) {
+	var buf bytes.Buffer
+	BarChart(&buf, "chart", []string{"a", "bb"}, []float64{1, 2}, 10)
+	out := buf.String()
+	if !strings.Contains(out, "##########") {
+		t.Fatal("max bar not full width")
+	}
+	if !strings.Contains(out, "#####") {
+		t.Fatal("half bar missing")
+	}
+	if !strings.Contains(out, "chart") {
+		t.Fatal("missing title")
+	}
+}
+
+func TestBarChartAllZeros(t *testing.T) {
+	var buf bytes.Buffer
+	BarChart(&buf, "", []string{"a"}, []float64{0}, 10)
+	if strings.Contains(buf.String(), "#") {
+		t.Fatal("zero values must render empty bars")
+	}
+}
+
+func TestHistogramRendering(t *testing.T) {
+	var buf bytes.Buffer
+	Histogram(&buf, "h", []float64{0.1, 0.5, 0.4}, 0, 3, 4)
+	out := buf.String()
+	if !strings.Contains(out, "#") {
+		t.Fatal("histogram has no bars")
+	}
+	rows := strings.Count(out, "|") / 2
+	if rows != 4 {
+		t.Fatalf("histogram has %d bar rows, want 4", rows)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if Percent(0.8875) != "88.75%" {
+		t.Fatalf("Percent = %q", Percent(0.8875))
+	}
+}

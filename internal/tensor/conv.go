@@ -1,0 +1,121 @@
+package tensor
+
+import "fmt"
+
+// ConvDims describes a 2-D convolution geometry over NCHW tensors.
+type ConvDims struct {
+	InC, InH, InW  int // input channels, height, width
+	OutC           int // output channels
+	KH, KW         int // kernel height, width
+	Stride, Pad    int // uniform stride and zero padding
+	OutH, OutW     int // derived output spatial dims
+	ColRows, Cols  int // derived im2col matrix dims per sample
+	WeightElems    int // OutC*InC*KH*KW
+	InElems        int // InC*InH*InW
+	OutElems       int // OutC*OutH*OutW
+	computedOutput bool
+}
+
+// NewConvDims validates and derives a convolution geometry.
+func NewConvDims(inC, inH, inW, outC, kh, kw, stride, pad int) ConvDims {
+	if stride <= 0 {
+		panic("tensor: conv stride must be positive")
+	}
+	outH := (inH+2*pad-kh)/stride + 1
+	outW := (inW+2*pad-kw)/stride + 1
+	if outH <= 0 || outW <= 0 {
+		panic(fmt.Sprintf("tensor: conv produces empty output: in %dx%d kernel %dx%d stride %d pad %d", inH, inW, kh, kw, stride, pad))
+	}
+	d := ConvDims{
+		InC: inC, InH: inH, InW: inW, OutC: outC,
+		KH: kh, KW: kw, Stride: stride, Pad: pad,
+		OutH: outH, OutW: outW,
+		computedOutput: true,
+	}
+	d.ColRows = inC * kh * kw
+	d.Cols = outH * outW
+	d.WeightElems = outC * inC * kh * kw
+	d.InElems = inC * inH * inW
+	d.OutElems = outC * outH * outW
+	return d
+}
+
+// Im2Col expands one NCHW sample (flattened in src, length d.InElems) into a
+// (ColRows × Cols) patch matrix written into dst (length ColRows*Cols).
+// Column j holds the receptive field of output pixel j, channel-major.
+func Im2Col(d ConvDims, src, dst []float64) {
+	if len(src) != d.InElems || len(dst) != d.ColRows*d.Cols {
+		panic(fmt.Sprintf("tensor: Im2Col buffer sizes src=%d dst=%d want %d,%d", len(src), len(dst), d.InElems, d.ColRows*d.Cols))
+	}
+	cols := d.Cols
+	idx := 0
+	for c := 0; c < d.InC; c++ {
+		chBase := c * d.InH * d.InW
+		for ky := 0; ky < d.KH; ky++ {
+			for kx := 0; kx < d.KW; kx++ {
+				row := dst[idx*cols : (idx+1)*cols]
+				idx++
+				j := 0
+				for oy := 0; oy < d.OutH; oy++ {
+					iy := oy*d.Stride - d.Pad + ky
+					if iy < 0 || iy >= d.InH {
+						for ox := 0; ox < d.OutW; ox++ {
+							row[j] = 0
+							j++
+						}
+						continue
+					}
+					rowBase := chBase + iy*d.InW
+					for ox := 0; ox < d.OutW; ox++ {
+						ix := ox*d.Stride - d.Pad + kx
+						if ix < 0 || ix >= d.InW {
+							row[j] = 0
+						} else {
+							row[j] = src[rowBase+ix]
+						}
+						j++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2Im scatters a (ColRows × Cols) patch-gradient matrix back into an
+// input-gradient buffer dst (length d.InElems), accumulating overlaps.
+// dst is zeroed first.
+func Col2Im(d ConvDims, src, dst []float64) {
+	if len(dst) != d.InElems || len(src) != d.ColRows*d.Cols {
+		panic(fmt.Sprintf("tensor: Col2Im buffer sizes src=%d dst=%d want %d,%d", len(src), len(dst), d.ColRows*d.Cols, d.InElems))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	cols := d.Cols
+	idx := 0
+	for c := 0; c < d.InC; c++ {
+		chBase := c * d.InH * d.InW
+		for ky := 0; ky < d.KH; ky++ {
+			for kx := 0; kx < d.KW; kx++ {
+				row := src[idx*cols : (idx+1)*cols]
+				idx++
+				j := 0
+				for oy := 0; oy < d.OutH; oy++ {
+					iy := oy*d.Stride - d.Pad + ky
+					if iy < 0 || iy >= d.InH {
+						j += d.OutW
+						continue
+					}
+					rowBase := chBase + iy*d.InW
+					for ox := 0; ox < d.OutW; ox++ {
+						ix := ox*d.Stride - d.Pad + kx
+						if ix >= 0 && ix < d.InW {
+							dst[rowBase+ix] += row[j]
+						}
+						j++
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package tensor
+
+import "fmt"
+
+// MatMul returns a new (m×n) tensor holding the product of a (m×k) and
+// b (k×n). Both inputs must be 2-D.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.NDim() != 2 || b.NDim() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul needs 2-D operands, got %v x %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims differ: %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	matmulInto(out.data, a.data, b.data, m, k, n)
+	return out
+}
+
+// MatMulInto computes dst = a·b, reusing dst's storage. dst must be m×n.
+func MatMulInto(dst, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if b.shape[0] != k || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch %v = %v x %v", dst.shape, a.shape, b.shape))
+	}
+	matmulInto(dst.data, a.data, b.data, m, k, n)
+}
+
+// matmulInto is an ikj-ordered kernel: cache-friendly row streaming over b.
+func matmulInto(dst, a, b []float64, m, k, n int) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		drow := dst[i*n : (i+1)*n]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulT returns a·bᵀ for a (m×k) and b (n×k), producing (m×n). This is the
+// backward-pass primitive for dense layers.
+func MatMulT(a, b *Tensor) *Tensor {
+	if a.NDim() != 2 || b.NDim() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulT needs 2-D operands, got %v x %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulT inner dims differ: %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.data[j*k : (j+1)*k]
+			s := 0.0
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// TMatMul returns aᵀ·b for a (k×m) and b (k×n), producing (m×n). This is the
+// weight-gradient primitive for dense layers.
+func TMatMul(a, b *Tensor) *Tensor {
+	if a.NDim() != 2 || b.NDim() != 2 {
+		panic(fmt.Sprintf("tensor: TMatMul needs 2-D operands, got %v x %v", a.shape, b.shape))
+	}
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: TMatMul inner dims differ: %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	for p := 0; p < k; p++ {
+		arow := a.data[p*m : (p+1)*m]
+		brow := b.data[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns a new tensor holding the transpose of the 2-D tensor t.
+func Transpose(t *Tensor) *Tensor {
+	if t.NDim() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose needs a 2-D tensor, got %v", t.shape))
+	}
+	m, n := t.shape[0], t.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = t.data[i*n+j]
+		}
+	}
+	return out
+}

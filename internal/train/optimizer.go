@@ -1,0 +1,139 @@
+// Package train provides optimizers and a training loop for the nn
+// substrate, with a per-step regularizer hook through which the
+// data-encoding attacks inject their correlation penalty gradients.
+package train
+
+import (
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update to every parameter and does not clear
+	// gradients (call Model.ZeroGrad separately).
+	Step(params []*nn.Param)
+	// SetLR changes the learning rate.
+	SetLR(lr float64)
+	// LR returns the current learning rate.
+	LR() float64
+}
+
+// SGD is stochastic gradient descent with optional momentum and decoupled
+// weight decay.
+type SGD struct {
+	lr          float64
+	Momentum    float64
+	WeightDecay float64
+	velocity    map[*nn.Param]*tensor.Tensor
+}
+
+// NewSGD creates an SGD optimizer.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	return &SGD{lr: lr, Momentum: momentum, WeightDecay: weightDecay,
+		velocity: make(map[*nn.Param]*tensor.Tensor)}
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*nn.Param) {
+	for _, p := range params {
+		g := p.Grad
+		if s.WeightDecay != 0 && p.Weight {
+			g = g.Clone().AddScaled(s.WeightDecay, p.Value)
+		}
+		if s.Momentum != 0 {
+			v, ok := s.velocity[p]
+			if !ok {
+				v = tensor.New(p.Value.Shape()...)
+				s.velocity[p] = v
+			}
+			v.Scale(s.Momentum).Add(g)
+			p.Value.AddScaled(-s.lr, v)
+		} else {
+			p.Value.AddScaled(-s.lr, g)
+		}
+	}
+}
+
+// SetLR implements Optimizer.
+func (s *SGD) SetLR(lr float64) { s.lr = lr }
+
+// LR implements Optimizer.
+func (s *SGD) LR() float64 { return s.lr }
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	lr           float64
+	Beta1, Beta2 float64
+	Eps          float64
+	WeightDecay  float64
+	t            int
+	m, v         map[*nn.Param]*tensor.Tensor
+}
+
+// NewAdam creates an Adam optimizer with standard defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		lr: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*nn.Param]*tensor.Tensor),
+		v: make(map[*nn.Param]*tensor.Tensor),
+	}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*nn.Param) {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		g := p.Grad
+		if a.WeightDecay != 0 && p.Weight {
+			g = g.Clone().AddScaled(a.WeightDecay, p.Value)
+		}
+		m, ok := a.m[p]
+		if !ok {
+			m = tensor.New(p.Value.Shape()...)
+			a.m[p] = m
+			a.v[p] = tensor.New(p.Value.Shape()...)
+		}
+		v := a.v[p]
+		md, vd, gd, pd := m.Data(), v.Data(), g.Data(), p.Value.Data()
+		for i := range gd {
+			md[i] = a.Beta1*md[i] + (1-a.Beta1)*gd[i]
+			vd[i] = a.Beta2*vd[i] + (1-a.Beta2)*gd[i]*gd[i]
+			mhat := md[i] / bc1
+			vhat := vd[i] / bc2
+			pd[i] -= a.lr * mhat / (math.Sqrt(vhat) + a.Eps)
+		}
+	}
+}
+
+// SetLR implements Optimizer.
+func (a *Adam) SetLR(lr float64) { a.lr = lr }
+
+// LR implements Optimizer.
+func (a *Adam) LR() float64 { return a.lr }
+
+// StepDecay returns a schedule that multiplies the base LR by factor every
+// `every` epochs.
+func StepDecay(base float64, every int, factor float64) func(epoch int) float64 {
+	return func(epoch int) float64 {
+		if every <= 0 {
+			return base
+		}
+		return base * math.Pow(factor, float64(epoch/every))
+	}
+}
+
+// CosineDecay returns a schedule that anneals the LR from base to floor over
+// total epochs following a half cosine.
+func CosineDecay(base, floor float64, total int) func(epoch int) float64 {
+	return func(epoch int) float64 {
+		if total <= 0 || epoch >= total {
+			return floor
+		}
+		return floor + 0.5*(base-floor)*(1+math.Cos(math.Pi*float64(epoch)/float64(total)))
+	}
+}

@@ -1,0 +1,150 @@
+package train
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Regularizer injects extra loss terms into training. After the data-loss
+// backward pass has accumulated gradients, Apply is called once per step;
+// it must add its own gradient contributions to the model parameters and
+// return the penalty value (for logging).
+//
+// The correlated-value-encoding attacks implement this interface.
+type Regularizer interface {
+	Apply(m *nn.Model) float64
+}
+
+// Config controls a training run.
+type Config struct {
+	// Epochs is the number of passes over the training set.
+	Epochs int
+	// BatchSize is the minibatch size.
+	BatchSize int
+	// Optimizer performs parameter updates; required.
+	Optimizer Optimizer
+	// Schedule, when non-nil, sets the LR at the start of each epoch.
+	Schedule func(epoch int) float64
+	// Reg, when non-nil, is applied every step after the data loss.
+	Reg Regularizer
+	// Seed drives minibatch shuffling.
+	Seed int64
+	// Log, when non-nil, receives one line per epoch.
+	Log io.Writer
+	// ClipNorm, when positive, rescales the global gradient norm to at
+	// most this value before each step (keeps the correlation penalty
+	// from destabilizing early epochs).
+	ClipNorm float64
+}
+
+// EpochStats summarizes one training epoch.
+type EpochStats struct {
+	Epoch    int
+	DataLoss float64
+	RegLoss  float64
+	LR       float64
+}
+
+// Result summarizes a training run.
+type Result struct {
+	Epochs []EpochStats
+}
+
+// FinalLoss returns the last epoch's data loss (0 if no epochs ran).
+func (r Result) FinalLoss() float64 {
+	if len(r.Epochs) == 0 {
+		return 0
+	}
+	return r.Epochs[len(r.Epochs)-1].DataLoss
+}
+
+// Run trains m on inputs x (N, ...) with labels y under cfg.
+func Run(m *nn.Model, x *tensor.Tensor, y []int, cfg Config) Result {
+	n := x.Dim(0)
+	if len(y) != n {
+		panic(fmt.Sprintf("train: %d labels for %d samples", len(y), n))
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.Optimizer == nil {
+		panic("train: Config.Optimizer is required")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sample := x.Len() / n
+	bx := tensor.New(cfg.BatchSize, sample)
+	by := make([]int, cfg.BatchSize)
+
+	var res Result
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.Schedule != nil {
+			cfg.Optimizer.SetLR(cfg.Schedule(epoch))
+		}
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		var dataLoss, regLoss float64
+		steps := 0
+		for lo := 0; lo+cfg.BatchSize <= n; lo += cfg.BatchSize {
+			bs := cfg.BatchSize
+			gather(bx, by, x, y, perm[lo:lo+bs])
+			batch := bx.Reshape(append([]int{bs}, m.InputShape...)...)
+			m.ZeroGrad()
+			logits := m.ForwardTrain(batch)
+			loss, grad := nn.SoftmaxCrossEntropy(logits, by[:bs])
+			m.Backward(grad)
+			if cfg.Reg != nil {
+				regLoss += cfg.Reg.Apply(m)
+			}
+			if cfg.ClipNorm > 0 {
+				clipGradNorm(m.Params(), cfg.ClipNorm)
+			}
+			cfg.Optimizer.Step(m.Params())
+			dataLoss += loss
+			steps++
+		}
+		if steps > 0 {
+			dataLoss /= float64(steps)
+			regLoss /= float64(steps)
+		}
+		st := EpochStats{Epoch: epoch, DataLoss: dataLoss, RegLoss: regLoss, LR: cfg.Optimizer.LR()}
+		res.Epochs = append(res.Epochs, st)
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "epoch %3d  loss %.4f  reg %.4f  lr %.4g\n", epoch, dataLoss, regLoss, st.LR)
+		}
+	}
+	return res
+}
+
+// gather copies the permuted samples into the batch buffers.
+func gather(bx *tensor.Tensor, by []int, x *tensor.Tensor, y []int, idx []int) {
+	sample := bx.Dim(1)
+	xd, bd := x.Data(), bx.Data()
+	for i, src := range idx {
+		copy(bd[i*sample:(i+1)*sample], xd[src*sample:(src+1)*sample])
+		by[i] = y[src]
+	}
+}
+
+func clipGradNorm(params []*nn.Param, maxNorm float64) {
+	total := 0.0
+	for _, p := range params {
+		for _, g := range p.Grad.Data() {
+			total += g * g
+		}
+	}
+	if total <= maxNorm*maxNorm {
+		return
+	}
+	scale := maxNorm / (math.Sqrt(total) + 1e-12)
+	for _, p := range params {
+		p.Grad.Scale(scale)
+	}
+}
