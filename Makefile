@@ -1,0 +1,26 @@
+# Tier-1 check: everything must build and every test must pass.
+check:
+	go build ./... && go test ./...
+
+# Tier-2 check: the full suite under the race detector. The worker pool in
+# internal/compute is the only source of concurrency in the repo; this is
+# the gate that keeps it honest. Slow (the experiment drivers retrain
+# models under a ~10x race-mode slowdown, far past the default 10m
+# per-package timeout), so it is not part of `check`.
+race:
+	go test -race -timeout 60m ./...
+
+# Fast race gate over the concurrent packages only.
+race-fast:
+	go test -race ./internal/compute/ ./internal/nn/ ./internal/train/
+
+vet:
+	go vet ./...
+
+# Serial-vs-parallel micro-benchmarks: the -cpu sweep varies GOMAXPROCS, so
+# the parallel variants (ConvForward, ConvBackward, TrainEpoch) scale with it
+# while the *Serial twins pin one worker as the baseline.
+bench:
+	go test -run '^$$' -bench 'Conv|TrainEpoch|MatMul' -cpu 1,2,4
+
+.PHONY: check race race-fast vet bench

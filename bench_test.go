@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"repro/internal/attack"
+	"repro/internal/compute"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/img"
@@ -131,29 +132,39 @@ func BenchmarkMatMul64(b *testing.B) {
 	}
 }
 
-func BenchmarkConvForward(b *testing.B) {
+// Serial-vs-parallel pairs: the parallel variants use the shared context for
+// the current GOMAXPROCS, so running with -cpu 1,2,4 sweeps the worker count
+// (the determinism suite guarantees the outputs are identical either way).
+
+func benchConvForward(b *testing.B, ctx *compute.Ctx) {
 	rng := rand.New(rand.NewSource(2))
 	conv := nn.NewConv2D("c", 12, 12, 12, 24, 3, 1, 1, rng)
 	x := tensor.New(32, 12, 12, 12).RandN(rng, 0, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		conv.Forward(x, false)
+		conv.Forward(ctx, x, false)
 	}
 }
 
-func BenchmarkConvBackward(b *testing.B) {
+func BenchmarkConvForward(b *testing.B)       { benchConvForward(b, compute.Get(0)) }
+func BenchmarkConvForwardSerial(b *testing.B) { benchConvForward(b, compute.Serial()) }
+
+func benchConvBackward(b *testing.B, ctx *compute.Ctx) {
 	rng := rand.New(rand.NewSource(3))
 	conv := nn.NewConv2D("c", 12, 12, 12, 24, 3, 1, 1, rng)
 	x := tensor.New(32, 12, 12, 12).RandN(rng, 0, 1)
-	out := conv.Forward(x, true)
+	out := conv.Forward(ctx, x, true)
 	g := tensor.New(out.Shape()...).RandN(rng, 0, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		conv.Backward(g)
+		conv.Backward(ctx, g)
 	}
 }
 
-func BenchmarkTrainEpoch(b *testing.B) {
+func BenchmarkConvBackward(b *testing.B)       { benchConvBackward(b, compute.Get(0)) }
+func BenchmarkConvBackwardSerial(b *testing.B) { benchConvBackward(b, compute.Serial()) }
+
+func benchTrainEpoch(b *testing.B, threads int) {
 	d := dataset.SyntheticCIFAR(dataset.CIFARConfig{
 		N: 256, Classes: 10, H: 12, W: 12, Seed: 1,
 		ContrastStd: 0.32, NoiseStd: 25, TemplateShare: 0.6,
@@ -166,9 +177,15 @@ func BenchmarkTrainEpoch(b *testing.B) {
 	opt := train.NewSGD(0.05, 0.9, 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		train.Run(m, x, y, train.Config{Epochs: 1, BatchSize: 32, Optimizer: opt, Seed: int64(i)})
+		train.Run(m, x, y, train.Config{
+			Epochs: 1, BatchSize: 32, Optimizer: opt, Seed: int64(i),
+			Threads: threads,
+		})
 	}
 }
+
+func BenchmarkTrainEpoch(b *testing.B)       { benchTrainEpoch(b, 0) }
+func BenchmarkTrainEpochSerial(b *testing.B) { benchTrainEpoch(b, 1) }
 
 func BenchmarkCorrelationRegApply(b *testing.B) {
 	m := nn.NewResNet(nn.ResNetConfig{

@@ -35,6 +35,7 @@ func main() {
 	std := flag.Float64("std", 54, "domain pixel std for the moment decode")
 	ascii := flag.Bool("ascii", false, "also print ASCII previews of the first reconstructions")
 	audit := flag.Bool("audit", false, "defender mode: run the distributional audit instead of extracting")
+	threads := flag.Int("threads", 0, "worker threads for model forward passes (0 = all cores)")
 	flag.Parse()
 
 	rm, err := modelio.Load(*modelPath)
@@ -45,6 +46,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	m.SetThreads(*threads)
 
 	gb, err := parseInts(*bounds)
 	if err != nil {

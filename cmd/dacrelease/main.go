@@ -30,6 +30,7 @@ func main() {
 	epochs := flag.Int("epochs", 15, "training epochs")
 	n := flag.Int("n", 800, "dataset size")
 	seed := flag.Int64("seed", 7, "seed")
+	threads := flag.Int("threads", 0, "worker threads per model pass (0 = all cores; results identical for any value)")
 	flag.Parse()
 
 	data := dataset.SyntheticCIFAR(dataset.CIFARConfig{
@@ -49,6 +50,7 @@ func main() {
 		Quant: core.QuantTargetCorrelated, Bits: *bits,
 		FineTuneEpochs: 3, KeepRegDuringFineTune: true,
 		Seed: *seed, Log: os.Stderr,
+		Threads: *threads,
 	})
 
 	rm, err := modelio.Export(res.Model, arch, res.Applied)

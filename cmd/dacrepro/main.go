@@ -21,6 +21,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shrunken datasets and epochs (smoke test)")
 	verbose := flag.Bool("v", false, "log per-run training progress")
 	outDir := flag.String("outdir", "", "directory for image artifacts (fig5)")
+	threads := flag.Int("threads", 0, "worker threads per model pass (0 = all cores; results identical for any value)")
 	flag.Parse()
 
 	args := flag.Args()
@@ -31,6 +32,7 @@ func main() {
 	}
 
 	env := experiments.NewEnv(*seed, *quick, os.Stdout)
+	env.Threads = *threads
 	if *verbose {
 		env.Log = os.Stderr
 	}

@@ -1,0 +1,55 @@
+package compute
+
+// Arena is a reusable scratch allocator owned by one worker. It hands out
+// float64 slices bump-allocated from a single backing buffer; Reset rewinds
+// the allocator so the next task reuses the same memory. After a warm-up
+// cycle an arena performs no heap allocation at all, which is what removes
+// the per-call im2col (and similar) garbage from the layer hot paths.
+//
+// Slices returned by Floats are valid until the next Reset. Their contents
+// are NOT cleared between cycles: steady-state requests return whatever the
+// previous task left behind, so callers must either fully overwrite the
+// slice (the common case — im2col, matmul destinations) or zero it
+// explicitly. An arena is not safe for concurrent use; the worker pool gives
+// each worker its own.
+type Arena struct {
+	buf      []float64
+	off      int
+	overflow int // floats requested past cap(buf) in the current cycle
+}
+
+// Reset rewinds the arena. If the previous cycle overflowed the backing
+// buffer, the buffer is regrown first so the coming cycle fits in one block.
+func (a *Arena) Reset() {
+	if a.overflow > 0 {
+		a.buf = make([]float64, len(a.buf)+a.overflow)
+		a.overflow = 0
+	}
+	a.off = 0
+}
+
+// Floats returns an n-element scratch slice with unspecified contents.
+// Requests beyond the current backing buffer fall back to a plain make and
+// are accounted for, so the next Reset grows the buffer to fit.
+func (a *Arena) Floats(n int) []float64 {
+	if a.off+n <= len(a.buf) {
+		s := a.buf[a.off : a.off+n : a.off+n]
+		a.off += n
+		return s
+	}
+	a.overflow += n
+	return make([]float64, n)
+}
+
+// ZeroFloats returns an n-element scratch slice cleared to zero.
+func (a *Arena) ZeroFloats(n int) []float64 {
+	s := a.Floats(n)
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// Cap reports the arena's current backing capacity in floats (for tests and
+// instrumentation).
+func (a *Arena) Cap() int { return len(a.buf) }

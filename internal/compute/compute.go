@@ -1,0 +1,189 @@
+// Package compute provides the execution context threaded through the
+// tensor → nn → train stack: a goroutine worker pool with per-worker
+// reusable scratch arenas.
+//
+// # Determinism contract
+//
+// The whole evaluation pipeline must be bit-reproducible from a seed — the
+// malicious-trainer threat model is only auditable if the released weights
+// can be re-derived exactly — so parallelism here never introduces
+// scheduling-dependent floating-point orders. The rules:
+//
+//   - For and ForChunks give no ordering or placement guarantees. Callers
+//     may only write to locations owned by their index (or chunk); i.e. they
+//     express maps, not reductions.
+//   - Reductions (parameter gradients summed over a batch) go through
+//     per-index partial buffers that the caller reduces serially in index
+//     order afterwards. Because the partial for index i is computed
+//     identically no matter which worker runs it, and the final reduction
+//     order is fixed, results are bit-identical for every thread count —
+//     including Threads=1, which runs the same algorithm inline.
+//
+// A Ctx may be driven by one goroutine at a time (layer state imposes the
+// same constraint already); the workers it owns are internal.
+package compute
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Ctx is an execution context: a fixed-size worker pool plus one scratch
+// Arena per worker. The zero number of threads is not valid; construct with
+// New or Get.
+type Ctx struct {
+	threads int
+	arenas  []*Arena
+	tasks   chan task
+}
+
+// task asks the pool to run fn(worker). The worker index rides along with
+// the task (rather than being a property of the receiving goroutine) so that
+// each index of a dispatch runs exactly once even when one goroutine drains
+// several tasks; the index is what owns an arena and a chunk, not the
+// goroutine.
+type task struct {
+	fn     func(worker int)
+	worker int
+	wg     *sync.WaitGroup
+}
+
+// New creates a context with the given worker count. threads <= 0 selects
+// runtime.GOMAXPROCS(0). The pool's threads-1 background goroutines live
+// until Close; the caller's goroutine acts as worker 0.
+func New(threads int) *Ctx {
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	c := &Ctx{threads: threads, arenas: make([]*Arena, threads)}
+	for i := range c.arenas {
+		c.arenas[i] = &Arena{}
+	}
+	if threads > 1 {
+		c.tasks = make(chan task)
+		for w := 1; w < threads; w++ {
+			go func() {
+				for t := range c.tasks {
+					t.fn(t.worker)
+					t.wg.Done()
+				}
+			}()
+		}
+	}
+	return c
+}
+
+var (
+	sharedMu sync.Mutex
+	shared   = map[int]*Ctx{}
+)
+
+// Get returns a process-shared context for the given worker count
+// (threads <= 0 selects runtime.GOMAXPROCS(0) at call time). Shared
+// contexts are cached by resolved count and never closed; use New for a
+// context you want to Close yourself. Like any Ctx, a shared context must
+// be driven by one goroutine at a time.
+func Get(threads int) *Ctx {
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	c, ok := shared[threads]
+	if !ok {
+		c = New(threads)
+		shared[threads] = c
+	}
+	return c
+}
+
+// Serial returns the shared single-threaded context. It runs everything
+// inline on the caller's goroutine and is the default execution context for
+// models that were never given one.
+func Serial() *Ctx { return Get(1) }
+
+// Threads returns the worker count.
+func (c *Ctx) Threads() int { return c.threads }
+
+// Close stops the background workers. The context must be idle; after Close
+// it must not be used again. Closing a context obtained from Get or Serial
+// is a bug (they are shared process-wide).
+func (c *Ctx) Close() {
+	if c.tasks != nil {
+		close(c.tasks)
+		c.tasks = nil
+	}
+}
+
+// dispatch runs fn once per worker (including the caller as worker 0) and
+// waits for all of them.
+func (c *Ctx) dispatch(fn func(worker int)) {
+	var wg sync.WaitGroup
+	wg.Add(c.threads - 1)
+	for w := 1; w < c.threads; w++ {
+		c.tasks <- task{fn: fn, worker: w, wg: &wg}
+	}
+	fn(0)
+	wg.Wait()
+}
+
+// For runs fn(i, arena) for every i in [0, n). Iterations are distributed
+// dynamically across the pool; the arena passed to fn is reset beforehand
+// and owned by fn for the duration of the call. fn may only write to
+// locations owned by index i — cross-index sums must go to per-index
+// buffers reduced by the caller afterwards (see the package comment).
+func (c *Ctx) For(n int, fn func(i int, a *Arena)) {
+	if n <= 0 {
+		return
+	}
+	if c.threads == 1 || n == 1 {
+		a := c.arenas[0]
+		for i := 0; i < n; i++ {
+			a.Reset()
+			fn(i, a)
+		}
+		return
+	}
+	var next int64
+	c.dispatch(func(worker int) {
+		a := c.arenas[worker]
+		for {
+			i := int(atomic.AddInt64(&next, 1)) - 1
+			if i >= n {
+				return
+			}
+			a.Reset()
+			fn(i, a)
+		}
+	})
+}
+
+// ForChunks splits [0, n) into one contiguous chunk per worker and runs
+// fn(lo, hi) on each in parallel. It is the low-overhead primitive for
+// elementwise maps over large flat ranges; fn may only write to locations
+// indexed by [lo, hi). Chunk boundaries depend on the thread count, so fn
+// must be a pure per-element map for results to be thread-count-invariant.
+func (c *Ctx) ForChunks(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	chunks := c.threads
+	if chunks > n {
+		chunks = n
+	}
+	if chunks == 1 {
+		fn(0, n)
+		return
+	}
+	c.dispatch(func(worker int) {
+		if worker >= chunks {
+			return
+		}
+		lo := worker * n / chunks
+		hi := (worker + 1) * n / chunks
+		if lo < hi {
+			fn(lo, hi)
+		}
+	})
+}

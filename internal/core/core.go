@@ -95,6 +95,11 @@ type Config struct {
 	ClipNorm  float64
 	// Seed drives every random choice in the pipeline.
 	Seed int64
+	// Threads is the worker count for the execution context every model
+	// pass (training, fine-tuning, evaluation, extraction-side forward)
+	// runs under. 0 selects runtime.GOMAXPROCS; 1 forces serial. All
+	// results are bit-identical across thread counts.
+	Threads int
 
 	// DecodeMean and DecodeStd are the domain pixel statistics the
 	// adversary's extraction moment-matches to. They are part of the
@@ -225,6 +230,7 @@ func Run(cfg Config) *Result {
 		Optimizer: train.NewSGD(cfg.LR, cfg.Momentum, 0),
 		Schedule:  train.StepDecay(cfg.LR, max(cfg.Epochs/3, 1), 0.3),
 		Seed:      cfg.Seed, ClipNorm: cfg.ClipNorm,
+		Threads: cfg.Threads,
 	}
 	if reg != nil {
 		tcfg.Reg = reg

@@ -28,6 +28,10 @@ type Env struct {
 	Log io.Writer
 	// OutDir, when non-empty, receives image artifacts (Fig 5 PGM strips).
 	OutDir string
+	// Threads is the worker count for every training/evaluation pass
+	// (0 = runtime.GOMAXPROCS, 1 = serial). Results are bit-identical
+	// for every value, so experiment outputs never depend on it.
+	Threads int
 
 	cache map[string]*core.Result
 	data  map[string]*dataset.Dataset
@@ -148,6 +152,7 @@ func (e *Env) baseCfg(d *dataset.Dataset, model nn.ResNetConfig) core.Config {
 		Epochs: e.epochs(), BatchSize: 32,
 		LR: 0.05, Momentum: 0.9, ClipNorm: 5,
 		Seed: e.Seed, FineTuneEpochs: 3,
+		Threads: e.Threads,
 	}
 }
 

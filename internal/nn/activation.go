@@ -1,8 +1,13 @@
 package nn
 
-import "repro/internal/tensor"
+import (
+	"repro/internal/compute"
+	"repro/internal/tensor"
+)
 
-// ReLU applies max(0, x) elementwise.
+// ReLU applies max(0, x) elementwise. The flat range is chunked across the
+// execution context's workers; elementwise maps are bit-identical for any
+// chunking.
 type ReLU struct {
 	name string
 	mask []bool
@@ -15,7 +20,7 @@ func NewReLU(name string) *ReLU { return &ReLU{name: name} }
 func (r *ReLU) Name() string { return r.name }
 
 // Forward implements Layer.
-func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (r *ReLU) Forward(ctx *compute.Ctx, x *tensor.Tensor, train bool) *tensor.Tensor {
 	out := x.Clone()
 	d := out.Data()
 	if train {
@@ -24,27 +29,31 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		}
 		r.mask = r.mask[:len(d)]
 	}
-	for i, v := range d {
-		pos := v > 0
-		if !pos {
-			d[i] = 0
+	ctx.ForChunks(len(d), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			pos := d[i] > 0
+			if !pos {
+				d[i] = 0
+			}
+			if train {
+				r.mask[i] = pos
+			}
 		}
-		if train {
-			r.mask[i] = pos
-		}
-	}
+	})
 	return out
 }
 
 // Backward implements Layer.
-func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (r *ReLU) Backward(ctx *compute.Ctx, grad *tensor.Tensor) *tensor.Tensor {
 	out := grad.Clone()
 	d := out.Data()
-	for i := range d {
-		if !r.mask[i] {
-			d[i] = 0
+	ctx.ForChunks(len(d), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if !r.mask[i] {
+				d[i] = 0
+			}
 		}
-	}
+	})
 	return out
 }
 
@@ -67,7 +76,7 @@ func NewLeakyReLU(name string, alpha float64) *LeakyReLU {
 func (r *LeakyReLU) Name() string { return r.name }
 
 // Forward implements Layer.
-func (r *LeakyReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (r *LeakyReLU) Forward(ctx *compute.Ctx, x *tensor.Tensor, train bool) *tensor.Tensor {
 	out := x.Clone()
 	d := out.Data()
 	if train {
@@ -76,27 +85,31 @@ func (r *LeakyReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		}
 		r.mask = r.mask[:len(d)]
 	}
-	for i, v := range d {
-		pos := v > 0
-		if !pos {
-			d[i] = v * r.Alpha
+	ctx.ForChunks(len(d), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			pos := d[i] > 0
+			if !pos {
+				d[i] *= r.Alpha
+			}
+			if train {
+				r.mask[i] = pos
+			}
 		}
-		if train {
-			r.mask[i] = pos
-		}
-	}
+	})
 	return out
 }
 
 // Backward implements Layer.
-func (r *LeakyReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (r *LeakyReLU) Backward(ctx *compute.Ctx, grad *tensor.Tensor) *tensor.Tensor {
 	out := grad.Clone()
 	d := out.Data()
-	for i := range d {
-		if !r.mask[i] {
-			d[i] *= r.Alpha
+	ctx.ForChunks(len(d), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if !r.mask[i] {
+				d[i] *= r.Alpha
+			}
 		}
-	}
+	})
 	return out
 }
 

@@ -4,18 +4,24 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/compute"
 	"repro/internal/tensor"
 )
 
 // Conv2D is a 2-D convolution over NCHW batches with uniform stride and
 // zero padding. Weights are stored (outC, inC*kh*kw) so the forward pass is
-// a single matmul against the im2col patch matrix per sample.
+// a single matmul against the im2col patch matrix per sample. The batch is
+// sharded across the execution context's workers; training-mode im2col
+// matrices persist in a layer-owned cache for Backward, while eval-mode
+// scratch comes from the per-worker arenas.
 type Conv2D struct {
 	name    string
 	Dims    tensor.ConvDims
 	W, B    *Param
 	lastIn  *tensor.Tensor
 	cols    []float64 // cached im2col matrices for the last training batch
+	dwPart  []float64 // per-sample dW partials, reduced in sample order
+	dbPart  []float64 // per-sample db partials, reduced in sample order
 	lastN   int
 	useBias bool
 }
@@ -43,59 +49,57 @@ func (c *Conv2D) OutShape() (int, int, int) {
 
 // Forward implements Layer. Input must be (N, inC, inH, inW) or a flat
 // (N, inC*inH*inW).
-func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (c *Conv2D) Forward(ctx *compute.Ctx, x *tensor.Tensor, train bool) *tensor.Tensor {
 	n := x.Dim(0)
 	if x.Len()/n != c.Dims.InElems {
 		panic(fmt.Sprintf("nn: %s: input has %d elems/sample, want %d", c.name, x.Len()/n, c.Dims.InElems))
 	}
 	colSize := c.Dims.ColRows * c.Dims.Cols
-	var cols []float64
 	if train {
 		if cap(c.cols) < n*colSize {
 			c.cols = make([]float64, n*colSize)
 		}
-		cols = c.cols[:n*colSize]
+		c.cols = c.cols[:n*colSize]
 		c.lastIn = x
 		c.lastN = n
-	} else {
-		cols = make([]float64, colSize)
 	}
 	out := tensor.New(n, c.Dims.OutC, c.Dims.OutH, c.Dims.OutW)
 	xd := x.Data()
 	od := out.Data()
-	colT := tensor.FromSlice(make([]float64, colSize), c.Dims.ColRows, c.Dims.Cols)
-	outT := tensor.FromSlice(make([]float64, c.Dims.OutElems), c.Dims.OutC, c.Dims.Cols)
-	for i := 0; i < n; i++ {
+	wd := c.W.Value.Data()
+	var bd []float64
+	if c.useBias {
+		bd = c.B.Value.Data()
+	}
+	spatial := c.Dims.Cols
+	ctx.For(n, func(i int, a *compute.Arena) {
 		var col []float64
 		if train {
-			col = cols[i*colSize : (i+1)*colSize]
+			col = c.cols[i*colSize : (i+1)*colSize]
 		} else {
-			col = cols
+			col = a.Floats(colSize)
 		}
 		tensor.Im2Col(c.Dims, xd[i*c.Dims.InElems:(i+1)*c.Dims.InElems], col)
-		colT = tensor.FromSlice(col, c.Dims.ColRows, c.Dims.Cols)
-		outT = tensor.FromSlice(od[i*c.Dims.OutElems:(i+1)*c.Dims.OutElems], c.Dims.OutC, c.Dims.Cols)
-		tensor.MatMulInto(outT, c.W.Value, colT)
-	}
-	if c.useBias {
-		bd := c.B.Value.Data()
-		spatial := c.Dims.Cols
-		for i := 0; i < n; i++ {
-			base := i * c.Dims.OutElems
+		oSample := od[i*c.Dims.OutElems : (i+1)*c.Dims.OutElems]
+		tensor.MatMulSlice(oSample, wd, col, c.Dims.OutC, c.Dims.ColRows, spatial)
+		if bd != nil {
 			for ch := 0; ch < c.Dims.OutC; ch++ {
 				bv := bd[ch]
-				row := od[base+ch*spatial : base+(ch+1)*spatial]
+				row := oSample[ch*spatial : (ch+1)*spatial]
 				for j := range row {
 					row[j] += bv
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 
-// Backward implements Layer.
-func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+// Backward implements Layer. Per-sample dW/db contributions land in
+// per-sample partial buffers, which are then reduced serially in sample
+// order — the same floating-point order as a serial per-sample loop, so the
+// accumulated gradients are bit-identical for any worker count.
+func (c *Conv2D) Backward(ctx *compute.Ctx, grad *tensor.Tensor) *tensor.Tensor {
 	if c.lastIn == nil {
 		panic(fmt.Sprintf("nn: %s: Backward before Forward(train)", c.name))
 	}
@@ -104,26 +108,51 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	gd := grad.Data()
 	dx := tensor.New(n, c.Dims.InC, c.Dims.InH, c.Dims.InW)
 	dxd := dx.Data()
-	dcol := make([]float64, colSize)
 	spatial := c.Dims.Cols
-	bg := c.B.Grad.Data()
-	for i := 0; i < n; i++ {
-		gSample := tensor.FromSlice(gd[i*c.Dims.OutElems:(i+1)*c.Dims.OutElems], c.Dims.OutC, spatial)
-		col := tensor.FromSlice(c.cols[i*colSize:(i+1)*colSize], c.Dims.ColRows, spatial)
-		// dW += g·colᵀ  : (outC,cols)·(cols,colRows)
-		c.W.Grad.Add(tensor.MatMulT(gSample, col))
+	wSize := c.Dims.OutC * c.Dims.ColRows
+	wd := c.W.Value.Data()
+	if cap(c.dwPart) < n*wSize {
+		c.dwPart = make([]float64, n*wSize)
+	}
+	c.dwPart = c.dwPart[:n*wSize]
+	if c.useBias {
+		if cap(c.dbPart) < n*c.Dims.OutC {
+			c.dbPart = make([]float64, n*c.Dims.OutC)
+		}
+		c.dbPart = c.dbPart[:n*c.Dims.OutC]
+	}
+	ctx.For(n, func(i int, a *compute.Arena) {
+		gSample := gd[i*c.Dims.OutElems : (i+1)*c.Dims.OutElems]
+		col := c.cols[i*colSize : (i+1)*colSize]
+		// dW_i = g·colᵀ : (outC,cols)·(cols,colRows)
+		tensor.MatMulTSlice(c.dwPart[i*wSize:(i+1)*wSize], gSample, col, c.Dims.OutC, spatial, c.Dims.ColRows)
 		// dcol = Wᵀ·g : (colRows,outC)·(outC,cols)
-		dcolT := tensor.TMatMul(c.W.Value, gSample)
-		copy(dcol, dcolT.Data())
+		dcol := a.Floats(colSize)
+		tensor.TMatMulSlice(dcol, wd, gSample, c.Dims.OutC, c.Dims.ColRows, spatial)
 		tensor.Col2Im(c.Dims, dcol, dxd[i*c.Dims.InElems:(i+1)*c.Dims.InElems])
 		if c.useBias {
 			for ch := 0; ch < c.Dims.OutC; ch++ {
-				row := gSample.Data()[ch*spatial : (ch+1)*spatial]
+				row := gSample[ch*spatial : (ch+1)*spatial]
 				s := 0.0
 				for _, v := range row {
 					s += v
 				}
-				bg[ch] += s
+				c.dbPart[i*c.Dims.OutC+ch] = s
+			}
+		}
+	})
+	// Deterministic reduction: sample order, independent of thread count.
+	wg := c.W.Grad.Data()
+	bg := c.B.Grad.Data()
+	for i := 0; i < n; i++ {
+		dwi := c.dwPart[i*wSize : (i+1)*wSize]
+		for j, v := range dwi {
+			wg[j] += v
+		}
+		if c.useBias {
+			dbi := c.dbPart[i*c.Dims.OutC : (i+1)*c.Dims.OutC]
+			for ch, v := range dbi {
+				bg[ch] += v
 			}
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/compute"
 	"repro/internal/tensor"
 )
 
@@ -13,6 +14,10 @@ import (
 // commonly include it, and it interacts with the attack: dropout noise on
 // the data loss does not disturb the correlation penalty, which is applied
 // to the weights directly.
+//
+// Dropout ignores the execution context on purpose: its mask comes from a
+// sequential RNG stream, and the stream must be drawn in a fixed element
+// order for runs to be reproducible across thread counts.
 type Dropout struct {
 	name string
 	// P is the drop probability in [0, 1).
@@ -33,7 +38,7 @@ func NewDropout(name string, p float64, seed int64) *Dropout {
 func (d *Dropout) Name() string { return d.name }
 
 // Forward implements Layer.
-func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (d *Dropout) Forward(_ *compute.Ctx, x *tensor.Tensor, train bool) *tensor.Tensor {
 	if !train || d.P == 0 {
 		return x.Clone()
 	}
@@ -57,7 +62,7 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
-func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (d *Dropout) Backward(_ *compute.Ctx, grad *tensor.Tensor) *tensor.Tensor {
 	if d.P == 0 {
 		return grad.Clone()
 	}
@@ -90,7 +95,7 @@ func NewTanh(name string) *Tanh { return &Tanh{name: name} }
 func (t *Tanh) Name() string { return t.name }
 
 // Forward implements Layer.
-func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (t *Tanh) Forward(_ *compute.Ctx, x *tensor.Tensor, train bool) *tensor.Tensor {
 	out := x.Clone().Apply(math.Tanh)
 	if train {
 		t.out = append(t.out[:0], out.Data()...)
@@ -99,7 +104,7 @@ func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
-func (t *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (t *Tanh) Backward(_ *compute.Ctx, grad *tensor.Tensor) *tensor.Tensor {
 	out := grad.Clone()
 	d := out.Data()
 	for i := range d {
@@ -124,7 +129,7 @@ func NewSigmoid(name string) *Sigmoid { return &Sigmoid{name: name} }
 func (s *Sigmoid) Name() string { return s.name }
 
 // Forward implements Layer.
-func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (s *Sigmoid) Forward(_ *compute.Ctx, x *tensor.Tensor, train bool) *tensor.Tensor {
 	out := x.Clone().Apply(func(v float64) float64 {
 		return 1 / (1 + math.Exp(-v))
 	})
@@ -135,7 +140,7 @@ func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
-func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (s *Sigmoid) Backward(_ *compute.Ctx, grad *tensor.Tensor) *tensor.Tensor {
 	out := grad.Clone()
 	d := out.Data()
 	for i := range d {

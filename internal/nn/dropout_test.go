@@ -12,7 +12,7 @@ func TestDropoutEvalIsIdentity(t *testing.T) {
 	d := NewDropout("d", 0.5, 1)
 	rng := rand.New(rand.NewSource(1))
 	x := tensor.New(4, 8).RandN(rng, 0, 1)
-	y := d.Forward(x, false)
+	y := d.Forward(serialCtx, x, false)
 	for i := range x.Data() {
 		if y.Data()[i] != x.Data()[i] {
 			t.Fatal("eval-mode dropout must be identity")
@@ -24,7 +24,7 @@ func TestDropoutTrainDropsAndRescales(t *testing.T) {
 	d := NewDropout("d", 0.5, 2)
 	x := tensor.New(1, 10000)
 	x.Fill(1)
-	y := d.Forward(x, true)
+	y := d.Forward(serialCtx, x, true)
 	zeros := 0
 	for _, v := range y.Data() {
 		switch v {
@@ -50,10 +50,10 @@ func TestDropoutBackwardMatchesMask(t *testing.T) {
 	d := NewDropout("d", 0.3, 3)
 	rng := rand.New(rand.NewSource(3))
 	x := tensor.New(2, 50).RandN(rng, 0, 1)
-	y := d.Forward(x, true)
+	y := d.Forward(serialCtx, x, true)
 	g := tensor.New(2, 50)
 	g.Fill(1)
-	dx := d.Backward(g)
+	dx := d.Backward(serialCtx, g)
 	scale := 1.0 / 0.7
 	for i, v := range y.Data() {
 		if v == 0 && dx.Data()[i] != 0 {
@@ -69,8 +69,8 @@ func TestDropoutZeroPIsPassthrough(t *testing.T) {
 	d := NewDropout("d", 0, 4)
 	rng := rand.New(rand.NewSource(4))
 	x := tensor.New(2, 5).RandN(rng, 0, 1)
-	y := d.Forward(x, true)
-	dx := d.Backward(y)
+	y := d.Forward(serialCtx, x, true)
+	dx := d.Backward(serialCtx, y)
 	for i := range x.Data() {
 		if y.Data()[i] != x.Data()[i] || dx.Data()[i] != y.Data()[i] {
 			t.Fatal("p=0 dropout must pass through")
@@ -98,7 +98,7 @@ func TestSigmoidGradients(t *testing.T) {
 func TestTanhRange(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	x := tensor.New(1, 100).RandN(rng, 0, 10)
-	y := NewTanh("t").Forward(x, false)
+	y := NewTanh("t").Forward(serialCtx, x, false)
 	if y.Min() < -1 || y.Max() > 1 {
 		t.Fatalf("tanh out of range [%v, %v]", y.Min(), y.Max())
 	}
@@ -107,7 +107,7 @@ func TestTanhRange(t *testing.T) {
 func TestSigmoidRange(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	x := tensor.New(1, 100).RandN(rng, 0, 10)
-	y := NewSigmoid("s").Forward(x, false)
+	y := NewSigmoid("s").Forward(serialCtx, x, false)
 	if y.Min() < 0 || y.Max() > 1 {
 		t.Fatalf("sigmoid out of range [%v, %v]", y.Min(), y.Max())
 	}

@@ -1,12 +1,24 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
 
+	"repro/internal/compute"
 	"repro/internal/tensor"
 )
+
+// serialCtx is the execution context used by single-purpose layer tests.
+// The parallel paths get equal coverage: checkLayerGradients re-runs every
+// gradient check under each context in gradCtxs, and the determinism suite
+// asserts bit-identical results across thread counts.
+var serialCtx = compute.Serial()
+
+// gradCtxs are the execution contexts every gradient check runs under. The
+// odd worker count (3) exercises uneven chunk splits.
+var gradCtxs = []*compute.Ctx{compute.Serial(), compute.Get(3)}
 
 // numericalGrad estimates d(loss)/d(v[i]) by central differences, where
 // loss is recomputed through the full forward pass each time.
@@ -21,10 +33,21 @@ func numericalGrad(loss func() float64, v []float64, i int) float64 {
 	return (lp - lm) / (2 * h)
 }
 
-// checkLayerGradients runs a forward/backward pass through layer on a random
-// batch, then verifies both parameter gradients and input gradients against
-// central differences of a scalar loss (weighted sum of outputs).
+// checkLayerGradients verifies layer's analytic gradients against central
+// differences under every context in gradCtxs (serial and parallel).
 func checkLayerGradients(t *testing.T, layer Layer, inShape []int, seed int64, tol float64) {
+	t.Helper()
+	for _, ctx := range gradCtxs {
+		t.Run(fmt.Sprintf("threads=%d", ctx.Threads()), func(t *testing.T) {
+			checkLayerGradientsCtx(t, ctx, layer, inShape, seed, tol)
+		})
+	}
+}
+
+// checkLayerGradientsCtx runs a forward/backward pass through layer on a
+// random batch, then verifies both parameter gradients and input gradients
+// against central differences of a scalar loss (weighted sum of outputs).
+func checkLayerGradientsCtx(t *testing.T, ctx *compute.Ctx, layer Layer, inShape []int, seed int64, tol float64) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	x := tensor.New(inShape...).RandN(rng, 0, 1)
@@ -33,7 +56,7 @@ func checkLayerGradients(t *testing.T, layer Layer, inShape []int, seed int64, t
 	// output element.
 	var proj []float64
 	loss := func() float64 {
-		out := layer.Forward(x, false)
+		out := layer.Forward(ctx, x, false)
 		if proj == nil {
 			proj = make([]float64, out.Len())
 			prng := rand.New(rand.NewSource(seed + 99))
@@ -54,9 +77,9 @@ func checkLayerGradients(t *testing.T, layer Layer, inShape []int, seed int64, t
 	for _, p := range layer.Params() {
 		p.ZeroGrad()
 	}
-	out := layer.Forward(x, true)
+	out := layer.Forward(ctx, x, true)
 	g := tensor.FromSlice(append([]float64(nil), proj...), out.Shape()...)
-	dx := layer.Backward(g)
+	dx := layer.Backward(ctx, g)
 
 	// Input gradient check (subsample for speed).
 	xd := x.Data()
@@ -136,12 +159,12 @@ func TestResidualIdentityGradients(t *testing.T) {
 	// the conv gradient flow via a BN-free surrogate.
 	blk := NewResidual("res", 4, 4, 4, 4, 1, 1, rng)
 	x := tensor.New(2, 4, 4, 4).RandN(rng, 0, 1)
-	out := blk.Forward(x, true)
+	out := blk.Forward(serialCtx, x, true)
 	if !out.SameShape(x) {
 		t.Fatalf("identity residual output shape %v, want %v", out.Shape(), x.Shape())
 	}
 	g := tensor.New(out.Shape()...).RandN(rng, 0, 1)
-	dx := blk.Backward(g)
+	dx := blk.Backward(serialCtx, g)
 	if !dx.SameShape(x) {
 		t.Fatalf("residual input grad shape %v, want %v", dx.Shape(), x.Shape())
 	}
@@ -154,11 +177,11 @@ func TestResidualProjectionShapes(t *testing.T) {
 	rng := rand.New(rand.NewSource(14))
 	blk := NewResidual("res2", 4, 8, 8, 8, 2, 3, rng)
 	x := tensor.New(2, 4, 8, 8).RandN(rng, 0, 1)
-	out := blk.Forward(x, true)
+	out := blk.Forward(serialCtx, x, true)
 	if out.Dim(1) != 8 || out.Dim(2) != 4 || out.Dim(3) != 4 {
 		t.Fatalf("projected residual output shape %v, want [2 8 4 4]", out.Shape())
 	}
-	dx := blk.Backward(tensor.New(out.Shape()...).RandN(rng, 0, 1))
+	dx := blk.Backward(serialCtx, tensor.New(out.Shape()...).RandN(rng, 0, 1))
 	if !dx.SameShape(x) {
 		t.Fatalf("projected residual input grad shape %v", dx.Shape())
 	}
@@ -168,6 +191,14 @@ func TestResidualProjectionShapes(t *testing.T) {
 // batch statistics match; we wrap Forward(train=true) in the numeric loss
 // (running stats drift is irrelevant to the gradient values).
 func TestBatchNormGradients(t *testing.T) {
+	for _, ctx := range gradCtxs {
+		t.Run(fmt.Sprintf("threads=%d", ctx.Threads()), func(t *testing.T) {
+			testBatchNormGradients(t, ctx)
+		})
+	}
+}
+
+func testBatchNormGradients(t *testing.T, ctx *compute.Ctx) {
 	rng := rand.New(rand.NewSource(15))
 	bn := NewBatchNorm2D("bn", 3)
 	x := tensor.New(4, 3, 2, 2).RandN(rng, 0, 1)
@@ -178,7 +209,7 @@ func TestBatchNormGradients(t *testing.T) {
 		proj[i] = prng.NormFloat64()
 	}
 	loss := func() float64 {
-		out := bn.Forward(x, true)
+		out := bn.Forward(ctx, x, true)
 		s := 0.0
 		for i, v := range out.Data() {
 			s += proj[i] * v
@@ -187,9 +218,9 @@ func TestBatchNormGradients(t *testing.T) {
 	}
 	bn.Gamma.ZeroGrad()
 	bn.Beta.ZeroGrad()
-	out := bn.Forward(x, true)
+	out := bn.Forward(ctx, x, true)
 	g := tensor.FromSlice(append([]float64(nil), proj...), out.Shape()...)
-	dx := bn.Backward(g)
+	dx := bn.Backward(ctx, g)
 
 	xd := x.Data()
 	for _, i := range sampleIndices(len(xd), 10, 6) {

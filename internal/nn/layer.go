@@ -1,6 +1,9 @@
 package nn
 
-import "repro/internal/tensor"
+import (
+	"repro/internal/compute"
+	"repro/internal/tensor"
+)
 
 // Layer is a differentiable module with manual backpropagation.
 //
@@ -10,14 +13,22 @@ import "repro/internal/tensor"
 // the layer's output and returns the gradient with respect to its input,
 // accumulating parameter gradients along the way. Backward must be called
 // with the same batch that was last passed to Forward with train=true.
+//
+// Both passes receive the execution context that owns the worker pool and
+// scratch arenas; layers shard their per-sample batch loops across it
+// instead of allocating scratch privately. Implementations must follow the
+// compute package's determinism contract: per-sample work writes only to
+// sample-owned locations, and cross-sample gradient sums go through
+// per-sample partial buffers reduced in fixed sample order, so outputs and
+// gradients are bit-identical for every thread count.
 type Layer interface {
 	// Name returns the layer's unique name within its model.
 	Name() string
 	// Forward computes the layer output for a batch.
-	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	Forward(ctx *compute.Ctx, x *tensor.Tensor, train bool) *tensor.Tensor
 	// Backward propagates the output gradient and returns the input
 	// gradient.
-	Backward(grad *tensor.Tensor) *tensor.Tensor
+	Backward(ctx *compute.Ctx, grad *tensor.Tensor) *tensor.Tensor
 	// Params returns the layer's trainable parameters (possibly empty).
 	Params() []*Param
 }
@@ -40,17 +51,17 @@ func (s *Sequential) Name() string { return s.name }
 func (s *Sequential) Add(l Layer) { s.Layers = append(s.Layers, l) }
 
 // Forward implements Layer.
-func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (s *Sequential) Forward(ctx *compute.Ctx, x *tensor.Tensor, train bool) *tensor.Tensor {
 	for _, l := range s.Layers {
-		x = l.Forward(x, train)
+		x = l.Forward(ctx, x, train)
 	}
 	return x
 }
 
 // Backward implements Layer.
-func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (s *Sequential) Backward(ctx *compute.Ctx, grad *tensor.Tensor) *tensor.Tensor {
 	for i := len(s.Layers) - 1; i >= 0; i-- {
-		grad = s.Layers[i].Backward(grad)
+		grad = s.Layers[i].Backward(ctx, grad)
 	}
 	return grad
 }

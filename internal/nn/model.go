@@ -4,12 +4,16 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/compute"
 	"repro/internal/tensor"
 )
 
 // Model wraps a network with the bookkeeping the attacks need: stable
 // parameter ordering, weight-only views, and the paper's notion of
-// layer groups over conv-layer indices.
+// layer groups over conv-layer indices. Every forward/backward pass runs
+// under the model's execution context (serial unless SetCtx/SetThreads was
+// called), so parallelism is a property of the model, inherited by
+// training, fine-tuning, and evaluation alike.
 type Model struct {
 	// Net is the underlying network.
 	Net Layer
@@ -19,6 +23,7 @@ type Model struct {
 	InputShape []int
 
 	params []*Param
+	ctx    *compute.Ctx
 }
 
 // NewModel wraps net, capturing its parameter list in forward order.
@@ -33,6 +38,23 @@ func NewModel(net Layer, classes int, inputShape []int) *Model {
 
 // Params returns all trainable parameters in forward order.
 func (m *Model) Params() []*Param { return m.params }
+
+// Ctx returns the model's execution context, defaulting to the shared
+// serial context when none was set.
+func (m *Model) Ctx() *compute.Ctx {
+	if m.ctx == nil {
+		return compute.Serial()
+	}
+	return m.ctx
+}
+
+// SetCtx installs the execution context used by Forward/Backward.
+func (m *Model) SetCtx(ctx *compute.Ctx) { m.ctx = ctx }
+
+// SetThreads installs a shared execution context with the given worker
+// count (0 selects runtime.GOMAXPROCS). Results are bit-identical for every
+// worker count; see the compute package for the determinism contract.
+func (m *Model) SetThreads(threads int) { m.ctx = compute.Get(threads) }
 
 // WeightParams returns only the multiplicative weights (conv kernels and
 // dense matrices), the carriers used for data encoding.
@@ -85,17 +107,17 @@ func (m *Model) ZeroGrad() {
 
 // Forward runs the network in inference mode.
 func (m *Model) Forward(x *tensor.Tensor) *tensor.Tensor {
-	return m.Net.Forward(x, false)
+	return m.Net.Forward(m.Ctx(), x, false)
 }
 
 // ForwardTrain runs the network in training mode (caches for backward).
 func (m *Model) ForwardTrain(x *tensor.Tensor) *tensor.Tensor {
-	return m.Net.Forward(x, true)
+	return m.Net.Forward(m.Ctx(), x, true)
 }
 
 // Backward propagates the loss gradient, accumulating parameter grads.
 func (m *Model) Backward(grad *tensor.Tensor) {
-	m.Net.Backward(grad)
+	m.Net.Backward(m.Ctx(), grad)
 }
 
 // Predict returns the argmax class for each sample in x, evaluating in

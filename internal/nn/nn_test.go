@@ -14,7 +14,7 @@ func TestDenseForwardExact(t *testing.T) {
 	d.W.Value.CopyFrom(tensor.FromSlice([]float64{1, 2, 3, 4, 5, 6}, 3, 2))
 	d.B.Value.CopyFrom(tensor.FromSlice([]float64{0.5, -0.5, 1}, 3))
 	x := tensor.FromSlice([]float64{1, 1}, 1, 2)
-	y := d.Forward(x, false)
+	y := d.Forward(serialCtx, x, false)
 	want := []float64{3.5, 6.5, 12}
 	for i, v := range want {
 		if math.Abs(y.Data()[i]-v) > 1e-12 {
@@ -34,7 +34,7 @@ func TestConv2DForwardExact(t *testing.T) {
 		4, 5, 6,
 		7, 8, 9,
 	}, 1, 1, 3, 3)
-	y := c.Forward(x, false)
+	y := c.Forward(serialCtx, x, false)
 	want := []float64{12, 16, 24, 28}
 	for i, v := range want {
 		if math.Abs(y.Data()[i]-v) > 1e-12 {
@@ -49,7 +49,7 @@ func TestConv2DBiasBroadcast(t *testing.T) {
 	c.W.Value.Zero()
 	c.B.Value.CopyFrom(tensor.FromSlice([]float64{1.5, -2}, 2))
 	x := tensor.New(1, 1, 2, 2)
-	y := c.Forward(x, false)
+	y := c.Forward(serialCtx, x, false)
 	for i := 0; i < 4; i++ {
 		if y.Data()[i] != 1.5 {
 			t.Fatalf("channel 0 elem %d = %v, want 1.5", i, y.Data()[i])
@@ -63,7 +63,7 @@ func TestConv2DBiasBroadcast(t *testing.T) {
 func TestReLUForward(t *testing.T) {
 	r := NewReLU("r")
 	x := tensor.FromSlice([]float64{-1, 0, 2}, 1, 3)
-	y := r.Forward(x, false)
+	y := r.Forward(serialCtx, x, false)
 	want := []float64{0, 0, 2}
 	for i, v := range want {
 		if y.Data()[i] != v {
@@ -83,7 +83,7 @@ func TestMaxPoolForward(t *testing.T) {
 		9, 10, 13, 14,
 		11, 12, 15, 16,
 	}, 1, 1, 4, 4)
-	y := p.Forward(x, false)
+	y := p.Forward(serialCtx, x, false)
 	want := []float64{4, 8, 12, 16}
 	for i, v := range want {
 		if y.Data()[i] != v {
@@ -95,7 +95,7 @@ func TestMaxPoolForward(t *testing.T) {
 func TestGlobalAvgPoolForward(t *testing.T) {
 	p := NewGlobalAvgPool("gap", 2, 2, 2)
 	x := tensor.FromSlice([]float64{1, 2, 3, 4, 10, 20, 30, 40}, 1, 2, 2, 2)
-	y := p.Forward(x, false)
+	y := p.Forward(serialCtx, x, false)
 	if y.Data()[0] != 2.5 || y.Data()[1] != 25 {
 		t.Fatalf("gap out = %v, want [2.5 25]", y.Data())
 	}
@@ -105,7 +105,7 @@ func TestBatchNormTrainStats(t *testing.T) {
 	bn := NewBatchNorm2D("bn", 1)
 	rng := rand.New(rand.NewSource(4))
 	x := tensor.New(8, 1, 4, 4).RandN(rng, 5, 3)
-	y := bn.Forward(x, true)
+	y := bn.Forward(serialCtx, x, true)
 	if m := y.Mean(); math.Abs(m) > 1e-10 {
 		t.Fatalf("bn train output mean = %v, want 0", m)
 	}
@@ -119,7 +119,7 @@ func TestBatchNormRunningStatsConverge(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	for i := 0; i < 200; i++ {
 		x := tensor.New(16, 1, 2, 2).RandN(rng, 7, 2)
-		bn.Forward(x, true)
+		bn.Forward(serialCtx, x, true)
 	}
 	if math.Abs(bn.RunMean[0]-7) > 0.3 {
 		t.Fatalf("running mean = %v, want ≈7", bn.RunMean[0])
@@ -130,7 +130,7 @@ func TestBatchNormRunningStatsConverge(t *testing.T) {
 	// Eval mode should now roughly standardize fresh data from the same
 	// distribution.
 	x := tensor.New(64, 1, 2, 2).RandN(rng, 7, 2)
-	y := bn.Forward(x, false)
+	y := bn.Forward(serialCtx, x, false)
 	if m := y.Mean(); math.Abs(m) > 0.2 {
 		t.Fatalf("bn eval mean = %v, want ≈0", m)
 	}
@@ -179,11 +179,11 @@ func TestSequentialComposition(t *testing.T) {
 		t.Fatalf("sequential param count = %d, want 4", got)
 	}
 	x := tensor.New(3, 4).RandN(rng, 0, 1)
-	y := seq.Forward(x, true)
+	y := seq.Forward(serialCtx, x, true)
 	if y.Dim(0) != 3 || y.Dim(1) != 2 {
 		t.Fatalf("sequential out shape %v", y.Shape())
 	}
-	dx := seq.Backward(tensor.New(3, 2).RandN(rng, 0, 1))
+	dx := seq.Backward(serialCtx, tensor.New(3, 2).RandN(rng, 0, 1))
 	if dx.Dim(1) != 4 {
 		t.Fatalf("sequential input grad shape %v", dx.Shape())
 	}

@@ -3,12 +3,19 @@ package nn
 import (
 	"math"
 
+	"repro/internal/compute"
 	"repro/internal/tensor"
 )
 
 // BatchNorm2D normalizes each channel over the batch and spatial dimensions,
 // then applies a learned affine transform. Running statistics accumulated
 // during training are used at inference time.
+//
+// Work is sharded across the execution context by channel: every channel's
+// statistics, normalized outputs, running-stat updates, and gradients touch
+// only that channel's locations, so the parallel path is a pure map and
+// bit-identical to the serial one. Within a channel, sums run over samples
+// in batch order exactly as the serial loop does.
 type BatchNorm2D struct {
 	name    string
 	C       int
@@ -48,7 +55,7 @@ func NewBatchNorm2D(name string, c int) *BatchNorm2D {
 func (b *BatchNorm2D) Name() string { return b.name }
 
 // Forward implements Layer. Input is (N, C, H, W) (or (N, C) with H=W=1).
-func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (b *BatchNorm2D) Forward(ctx *compute.Ctx, x *tensor.Tensor, train bool) *tensor.Tensor {
 	n := x.Dim(0)
 	hw := x.Len() / (n * b.C)
 	xd := x.Data()
@@ -58,7 +65,7 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	bd := b.Beta.Value.Data()
 
 	if !train {
-		for c := 0; c < b.C; c++ {
+		ctx.For(b.C, func(c int, _ *compute.Arena) {
 			invStd := 1.0 / math.Sqrt(b.RunVar[c]+b.Eps)
 			mu := b.RunMean[c]
 			g, bb := gd[c], bd[c]
@@ -68,7 +75,7 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 					od[base+i] = (xd[base+i]-mu)*invStd*g + bb
 				}
 			}
-		}
+		})
 		return out
 	}
 
@@ -79,7 +86,7 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		b.lastStd = make([]float64, b.C)
 	}
 	b.lastStd = b.lastStd[:b.C]
-	for c := 0; c < b.C; c++ {
+	ctx.For(b.C, func(c int, _ *compute.Arena) {
 		mu := 0.0
 		for s := 0; s < n; s++ {
 			base := (s*b.C + c) * hw
@@ -111,7 +118,7 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		}
 		b.RunMean[c] = (1-b.Mom)*b.RunMean[c] + b.Mom*mu
 		b.RunVar[c] = (1-b.Mom)*b.RunVar[c] + b.Mom*va
-	}
+	})
 	b.lastXHat = xhat
 	b.lastN = n
 	b.lastHW = hw
@@ -121,7 +128,7 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // Backward implements Layer, using the standard batch-norm gradient:
 //
 //	dx = γ/σ · (dy − mean(dy) − x̂·mean(dy·x̂))
-func (b *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (b *BatchNorm2D) Backward(ctx *compute.Ctx, grad *tensor.Tensor) *tensor.Tensor {
 	n, hw := b.lastN, b.lastHW
 	cnt := float64(n * hw)
 	gd := grad.Data()
@@ -131,7 +138,7 @@ func (b *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	gamma := b.Gamma.Value.Data()
 	dgamma := b.Gamma.Grad.Data()
 	dbeta := b.Beta.Grad.Data()
-	for c := 0; c < b.C; c++ {
+	ctx.For(b.C, func(c int, _ *compute.Arena) {
 		sumDy, sumDyXhat := 0.0, 0.0
 		for s := 0; s < n; s++ {
 			base := (s*b.C + c) * hw
@@ -152,7 +159,7 @@ func (b *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 				dd[base+i] = k * (gd[base+i] - meanDy - xh[base+i]*meanDyXhat)
 			}
 		}
-	}
+	})
 	return dx
 }
 

@@ -3,10 +3,15 @@ package nn
 import (
 	"fmt"
 
+	"repro/internal/compute"
 	"repro/internal/tensor"
 )
 
-// MaxPool2D performs k×k max pooling with stride k over NCHW batches.
+// MaxPool2D performs k×k max pooling with stride k over NCHW batches. The
+// batch is sharded across the execution context's workers; every sample's
+// outputs, argmax cache, and backward scatter touch only that sample's
+// locations (pooling windows are disjoint), so the parallel path is a pure
+// map.
 type MaxPool2D struct {
 	name       string
 	K          int
@@ -31,7 +36,7 @@ func (p *MaxPool2D) Name() string { return p.name }
 func (p *MaxPool2D) OutShape() (int, int, int) { return p.C, p.outH, p.outW }
 
 // Forward implements Layer.
-func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (p *MaxPool2D) Forward(ctx *compute.Ctx, x *tensor.Tensor, train bool) *tensor.Tensor {
 	n := x.Dim(0)
 	in := x.Reshape(n, p.C, p.H, p.W)
 	out := tensor.New(n, p.C, p.outH, p.outW)
@@ -44,8 +49,9 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	id := in.Data()
 	od := out.Data()
-	oi := 0
-	for b := 0; b < n; b++ {
+	outSample := p.C * p.outH * p.outW
+	ctx.For(n, func(b int, _ *compute.Arena) {
+		oi := b * outSample
 		for c := 0; c < p.C; c++ {
 			base := (b*p.C + c) * p.H * p.W
 			for oy := 0; oy < p.outH; oy++ {
@@ -70,18 +76,22 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 
 // Backward implements Layer.
-func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (p *MaxPool2D) Backward(ctx *compute.Ctx, grad *tensor.Tensor) *tensor.Tensor {
 	dx := tensor.New(p.lastShape...)
 	dd := dx.Data()
 	gd := grad.Data()
-	for i, src := range p.argmax {
-		dd[src] += gd[i]
-	}
+	n := p.lastShape[0]
+	outSample := p.C * p.outH * p.outW
+	ctx.For(n, func(b int, _ *compute.Arena) {
+		for i := b * outSample; i < (b+1)*outSample; i++ {
+			dd[p.argmax[i]] += gd[i]
+		}
+	})
 	return dx
 }
 
@@ -89,7 +99,7 @@ func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 func (p *MaxPool2D) Params() []*Param { return nil }
 
 // GlobalAvgPool averages each channel's spatial map, mapping
-// (N, C, H, W) to (N, C).
+// (N, C, H, W) to (N, C). The batch is sharded across workers.
 type GlobalAvgPool struct {
 	name    string
 	C, H, W int
@@ -104,14 +114,14 @@ func NewGlobalAvgPool(name string, c, h, w int) *GlobalAvgPool {
 func (p *GlobalAvgPool) Name() string { return p.name }
 
 // Forward implements Layer.
-func (p *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (p *GlobalAvgPool) Forward(ctx *compute.Ctx, x *tensor.Tensor, train bool) *tensor.Tensor {
 	n := x.Dim(0)
 	spatial := p.H * p.W
 	out := tensor.New(n, p.C)
 	xd := x.Data()
 	od := out.Data()
 	inv := 1.0 / float64(spatial)
-	for b := 0; b < n; b++ {
+	ctx.For(n, func(b int, _ *compute.Arena) {
 		for c := 0; c < p.C; c++ {
 			base := (b*p.C + c) * spatial
 			s := 0.0
@@ -120,19 +130,19 @@ func (p *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			}
 			od[b*p.C+c] = s * inv
 		}
-	}
+	})
 	return out
 }
 
 // Backward implements Layer.
-func (p *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (p *GlobalAvgPool) Backward(ctx *compute.Ctx, grad *tensor.Tensor) *tensor.Tensor {
 	n := grad.Dim(0)
 	spatial := p.H * p.W
 	dx := tensor.New(n, p.C, p.H, p.W)
 	dd := dx.Data()
 	gd := grad.Data()
 	inv := 1.0 / float64(spatial)
-	for b := 0; b < n; b++ {
+	ctx.For(n, func(b int, _ *compute.Arena) {
 		for c := 0; c < p.C; c++ {
 			g := gd[b*p.C+c] * inv
 			base := (b*p.C + c) * spatial
@@ -140,7 +150,7 @@ func (p *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
 				dd[base+i] = g
 			}
 		}
-	}
+	})
 	return dx
 }
 
@@ -161,7 +171,7 @@ func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
 func (f *Flatten) Name() string { return f.name }
 
 // Forward implements Layer.
-func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (f *Flatten) Forward(_ *compute.Ctx, x *tensor.Tensor, train bool) *tensor.Tensor {
 	if train {
 		f.lastShape = x.Shape()
 	}
@@ -170,7 +180,7 @@ func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
-func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (f *Flatten) Backward(_ *compute.Ctx, grad *tensor.Tensor) *tensor.Tensor {
 	return grad.Reshape(f.lastShape...)
 }
 

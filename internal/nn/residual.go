@@ -3,6 +3,7 @@ package nn
 import (
 	"math/rand"
 
+	"repro/internal/compute"
 	"repro/internal/tensor"
 )
 
@@ -62,33 +63,47 @@ func NewResidual(name string, inC, h, w, outC, stride int, idx int, rng *rand.Ra
 // Name implements Layer.
 func (r *Residual) Name() string { return r.name }
 
+// addTensors returns a+b elementwise, chunked across the context's workers
+// (a pure map: element i depends only on a[i] and b[i]).
+func addTensors(ctx *compute.Ctx, a, b *tensor.Tensor) *tensor.Tensor {
+	sum := tensor.New(a.Shape()...)
+	sd := sum.Data()
+	ad := a.Data()
+	bd := b.Data()
+	ctx.ForChunks(len(sd), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sd[i] = ad[i] + bd[i]
+		}
+	})
+	return sum
+}
+
 // Forward implements Layer.
-func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (r *Residual) Forward(ctx *compute.Ctx, x *tensor.Tensor, train bool) *tensor.Tensor {
 	if train {
 		r.saved = x
 	}
-	y := r.body.Forward(x, train)
+	y := r.body.Forward(ctx, x, train)
 	var sc *tensor.Tensor
 	if r.proj != nil {
-		sc = r.proj.Forward(x, train)
+		sc = r.proj.Forward(ctx, x, train)
 	} else {
 		sc = x
 	}
-	sum := y.Clone().Add(sc)
-	return r.relu.Forward(sum, train)
+	return r.relu.Forward(ctx, addTensors(ctx, y, sc), train)
 }
 
 // Backward implements Layer.
-func (r *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	g := r.relu.Backward(grad)
-	dxBody := r.body.Backward(g)
+func (r *Residual) Backward(ctx *compute.Ctx, grad *tensor.Tensor) *tensor.Tensor {
+	g := r.relu.Backward(ctx, grad)
+	dxBody := r.body.Backward(ctx, g)
 	var dxShort *tensor.Tensor
 	if r.proj != nil {
-		dxShort = r.proj.Backward(g)
+		dxShort = r.proj.Backward(ctx, g)
 	} else {
 		dxShort = g
 	}
-	return dxBody.Clone().Add(dxShort)
+	return addTensors(ctx, dxBody, dxShort)
 }
 
 // Children returns the block's composite sub-layers (body and, when a

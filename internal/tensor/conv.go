@@ -4,16 +4,14 @@ import "fmt"
 
 // ConvDims describes a 2-D convolution geometry over NCHW tensors.
 type ConvDims struct {
-	InC, InH, InW  int // input channels, height, width
-	OutC           int // output channels
-	KH, KW         int // kernel height, width
-	Stride, Pad    int // uniform stride and zero padding
-	OutH, OutW     int // derived output spatial dims
-	ColRows, Cols  int // derived im2col matrix dims per sample
-	WeightElems    int // OutC*InC*KH*KW
-	InElems        int // InC*InH*InW
-	OutElems       int // OutC*OutH*OutW
-	computedOutput bool
+	InC, InH, InW int // input channels, height, width
+	OutC          int // output channels
+	KH, KW        int // kernel height, width
+	Stride, Pad   int // uniform stride and zero padding
+	OutH, OutW    int // derived output spatial dims
+	ColRows, Cols int // derived im2col matrix dims per sample
+	InElems       int // InC*InH*InW
+	OutElems      int // OutC*OutH*OutW
 }
 
 // NewConvDims validates and derives a convolution geometry.
@@ -30,11 +28,9 @@ func NewConvDims(inC, inH, inW, outC, kh, kw, stride, pad int) ConvDims {
 		InC: inC, InH: inH, InW: inW, OutC: outC,
 		KH: kh, KW: kw, Stride: stride, Pad: pad,
 		OutH: outH, OutW: outW,
-		computedOutput: true,
 	}
 	d.ColRows = inC * kh * kw
 	d.Cols = outH * outW
-	d.WeightElems = outC * inC * kh * kw
 	d.InElems = inC * inH * inW
 	d.OutElems = outC * outH * outW
 	return d

@@ -60,19 +60,23 @@ func MatMulT(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulT inner dims differ: %v x %v", a.shape, b.shape))
 	}
 	out := New(m, n)
+	matmulTInto(out.data, a.data, b.data, m, k, n)
+	return out
+}
+
+func matmulTInto(dst, a, b []float64, m, k, n int) {
 	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		orow := out.data[i*n : (i+1)*n]
+		arow := a[i*k : (i+1)*k]
+		drow := dst[i*n : (i+1)*n]
 		for j := 0; j < n; j++ {
-			brow := b.data[j*k : (j+1)*k]
+			brow := b[j*k : (j+1)*k]
 			s := 0.0
 			for p, av := range arow {
 				s += av * brow[p]
 			}
-			orow[j] = s
+			drow[j] = s
 		}
 	}
-	return out
 }
 
 // TMatMul returns aᵀ·b for a (k×m) and b (k×n), producing (m×n). This is the
@@ -87,20 +91,61 @@ func TMatMul(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: TMatMul inner dims differ: %v x %v", a.shape, b.shape))
 	}
 	out := New(m, n)
+	tmatmulInto(out.data, a.data, b.data, k, m, n)
+	return out
+}
+
+func tmatmulInto(dst, a, b []float64, k, m, n int) {
+	for i := range dst {
+		dst[i] = 0
+	}
 	for p := 0; p < k; p++ {
-		arow := a.data[p*m : (p+1)*m]
-		brow := b.data[p*n : (p+1)*n]
+		arow := a[p*m : (p+1)*m]
+		brow := b[p*n : (p+1)*n]
 		for i, av := range arow {
 			if av == 0 {
 				continue
 			}
-			orow := out.data[i*n : (i+1)*n]
+			drow := dst[i*n : (i+1)*n]
 			for j, bv := range brow {
-				orow[j] += av * bv
+				drow[j] += av * bv
 			}
 		}
 	}
-	return out
+}
+
+// The *Slice variants below run the same kernels over raw row-major slices.
+// They exist for the parallel layer paths, which shard batches into
+// sub-slices of shared storage and cannot afford a header allocation per
+// sample. Each validates lengths, so a mis-sliced call fails loudly instead
+// of corrupting a neighbouring sample's rows.
+
+func checkSlices(op string, dst, a, b []float64, dl, al, bl int) {
+	if len(dst) != dl || len(a) != al || len(b) != bl {
+		panic(fmt.Sprintf("tensor: %s buffer sizes dst=%d a=%d b=%d, want %d,%d,%d",
+			op, len(dst), len(a), len(b), dl, al, bl))
+	}
+}
+
+// MatMulSlice computes dst = a·b for a (m×k) and b (k×n), writing the (m×n)
+// product over dst's previous contents.
+func MatMulSlice(dst, a, b []float64, m, k, n int) {
+	checkSlices("MatMulSlice", dst, a, b, m*n, m*k, k*n)
+	matmulInto(dst, a, b, m, k, n)
+}
+
+// MatMulTSlice computes dst = a·bᵀ for a (m×k) and b (n×k), writing the
+// (m×n) product over dst's previous contents.
+func MatMulTSlice(dst, a, b []float64, m, k, n int) {
+	checkSlices("MatMulTSlice", dst, a, b, m*n, m*k, n*k)
+	matmulTInto(dst, a, b, m, k, n)
+}
+
+// TMatMulSlice computes dst = aᵀ·b for a (k×m) and b (k×n), writing the
+// (m×n) product over dst's previous contents.
+func TMatMulSlice(dst, a, b []float64, k, m, n int) {
+	checkSlices("TMatMulSlice", dst, a, b, m*n, k*m, k*n)
+	tmatmulInto(dst, a, b, k, m, n)
 }
 
 // Transpose returns a new tensor holding the transpose of the 2-D tensor t.

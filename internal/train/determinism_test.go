@@ -1,0 +1,101 @@
+package train
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// convProblem builds a tiny image classification problem plus a fresh conv
+// model with fixed seeds, so repeated calls are bit-identical.
+func convProblem() (*tensor.Tensor, []int, func() *nn.Model) {
+	rng := rand.New(rand.NewSource(21))
+	n := 48
+	x := tensor.New(n, 1, 8, 8).RandN(rng, 0, 1)
+	y := make([]int, n)
+	for i := range y {
+		y[i] = i % 4
+	}
+	build := func() *nn.Model {
+		return nn.NewResNet(nn.ResNetConfig{
+			InC: 1, InH: 8, InW: 8, Classes: 4,
+			Widths: []int{4, 8}, Blocks: []int{1, 1}, Seed: 22,
+		})
+	}
+	return x, y, build
+}
+
+// TestRunBitIdenticalAcrossThreadCounts pins the repo's reproducibility
+// guarantee end to end: a full training run — shuffling, forward, backward,
+// gradient clipping, momentum updates, batch-norm running stats — produces
+// bit-identical weights and losses for every Threads value. The threat model
+// depends on this: a released model is only auditable if the training run
+// that produced it can be replayed exactly, regardless of the machine's core
+// count.
+func TestRunBitIdenticalAcrossThreadCounts(t *testing.T) {
+	x, y, build := convProblem()
+	runOne := func(threads int) ([]float64, []EpochStats) {
+		m := build()
+		res := Run(m, x, y, Config{
+			Epochs: 2, BatchSize: 8,
+			Optimizer: NewSGD(0.05, 0.9, 0),
+			ClipNorm:  5,
+			Seed:      23,
+			Threads:   threads,
+		})
+		var flat []float64
+		for _, p := range m.Params() {
+			flat = append(flat, p.Value.Data()...)
+		}
+		return flat, res.Epochs
+	}
+
+	refW, refE := runOne(1)
+	for _, threads := range []int{2, 4, 7} {
+		t.Run(fmt.Sprintf("threads=%d", threads), func(t *testing.T) {
+			w, e := runOne(threads)
+			if len(w) != len(refW) {
+				t.Fatalf("param count %d != %d", len(w), len(refW))
+			}
+			for i := range refW {
+				if w[i] != refW[i] {
+					t.Fatalf("weight[%d]: %v (threads=%d) != %v (threads=1)", i, w[i], threads, refW[i])
+				}
+			}
+			for i := range refE {
+				if e[i].DataLoss != refE[i].DataLoss {
+					t.Fatalf("epoch %d loss %v != %v", i, e[i].DataLoss, refE[i].DataLoss)
+				}
+			}
+		})
+	}
+}
+
+// TestRunThreadsZeroMatchesSerial pins the default: Threads 0 (all cores)
+// must also reproduce the serial run bit for bit.
+func TestRunThreadsZeroMatchesSerial(t *testing.T) {
+	x, y, build := convProblem()
+	runOne := func(threads int) []float64 {
+		m := build()
+		Run(m, x, y, Config{
+			Epochs: 1, BatchSize: 8,
+			Optimizer: NewSGD(0.05, 0.9, 0),
+			Seed:      24,
+			Threads:   threads,
+		})
+		var flat []float64
+		for _, p := range m.Params() {
+			flat = append(flat, p.Value.Data()...)
+		}
+		return flat
+	}
+	a, b := runOne(1), runOne(0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("weight[%d]: serial %v != default %v", i, a[i], b[i])
+		}
+	}
+}

@@ -34,6 +34,13 @@ type Config struct {
 	Reg Regularizer
 	// Seed drives minibatch shuffling.
 	Seed int64
+	// Threads sets the worker count of the execution context installed on
+	// the model for this run (and kept afterwards, so fine-tuning and
+	// evaluation inherit it). 0 selects runtime.GOMAXPROCS; 1 forces the
+	// serial path. Training results are bit-identical for every value —
+	// the layer contract reduces per-sample gradients in fixed sample
+	// order — so the knob trades wall-clock only, never reproducibility.
+	Threads int
 	// Log, when non-nil, receives one line per epoch.
 	Log io.Writer
 	// ClipNorm, when positive, rescales the global gradient norm to at
@@ -75,6 +82,7 @@ func Run(m *nn.Model, x *tensor.Tensor, y []int, cfg Config) Result {
 	if cfg.Optimizer == nil {
 		panic("train: Config.Optimizer is required")
 	}
+	m.SetThreads(cfg.Threads)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	perm := make([]int, n)
 	for i := range perm {
