@@ -12,7 +12,7 @@ race:
 
 # Fast race gate over the concurrent packages only.
 race-fast:
-	go test -race ./internal/compute/ ./internal/nn/ ./internal/train/
+	go test -race ./internal/compute/ ./internal/nn/ ./internal/train/ ./internal/serve/
 
 vet:
 	go vet ./...
@@ -23,4 +23,10 @@ vet:
 bench:
 	go test -run '^$$' -bench 'Conv|TrainEpoch|MatMul' -cpu 1,2,4
 
-.PHONY: check race race-fast vet bench
+# Serving throughput sweep (requests/sec vs MaxBatch) written to
+# BENCH_serve.json; also runs the latency micro-benchmarks.
+serve-bench:
+	go test ./internal/serve/ -run '^TestEmitServeBench$$' -count=1 -v -args -emit-bench=$(CURDIR)/BENCH_serve.json
+	go test ./internal/serve/ -run '^$$' -bench ServePredict
+
+.PHONY: check race race-fast vet bench serve-bench

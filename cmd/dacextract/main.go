@@ -21,18 +21,20 @@ import (
 	"strings"
 
 	"repro/internal/attack"
+	"repro/internal/core"
 	"repro/internal/img"
 	"repro/internal/modelio"
 )
 
 func main() {
+	preset := core.CIFARRelease()
 	modelPath := flag.String("model", "released.bin", "released model file")
 	outDir := flag.String("out", "stolen", "output directory for reconstructed PGMs")
 	truthDir := flag.String("truth", "", "optional ground-truth PGM directory for scoring")
-	bounds := flag.String("bounds", "5,9", "conv-index group bounds (the adversary's own constant)")
-	geom := flag.String("geom", "1x12x12", "payload image geometry CxHxW")
-	mean := flag.Float64("mean", 128, "domain pixel mean for the moment decode")
-	std := flag.Float64("std", 54, "domain pixel std for the moment decode")
+	bounds := flag.String("bounds", preset.BoundsCSV(), "conv-index group bounds (the adversary's own constant)")
+	geom := flag.String("geom", preset.GeomString(), "payload image geometry CxHxW")
+	mean := flag.Float64("mean", preset.DecodeMean, "domain pixel mean for the moment decode")
+	std := flag.Float64("std", preset.DecodeStd, "domain pixel std for the moment decode")
 	ascii := flag.Bool("ascii", false, "also print ASCII previews of the first reconstructions")
 	audit := flag.Bool("audit", false, "defender mode: run the distributional audit instead of extracting")
 	threads := flag.Int("threads", 0, "worker threads for model forward passes (0 = all cores)")

@@ -19,7 +19,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/modelio"
-	"repro/internal/nn"
 )
 
 func main() {
@@ -33,19 +32,14 @@ func main() {
 	threads := flag.Int("threads", 0, "worker threads per model pass (0 = all cores; results identical for any value)")
 	flag.Parse()
 
-	data := dataset.SyntheticCIFAR(dataset.CIFARConfig{
-		N: *n, Classes: 10, H: 12, W: 12, Seed: *seed,
-		ContrastStd: 0.32, NoiseStd: 25, TemplateShare: 0.6,
-	})
-	arch := nn.ResNetConfig{
-		InC: 1, InH: 12, InW: 12, Classes: 10,
-		Widths: []int{6, 12, 24}, Blocks: []int{2, 2, 2}, Seed: 1,
-	}
+	preset := core.CIFARRelease()
+	data := dataset.SyntheticCIFAR(preset.DataConfig(*n, *seed))
+	arch := preset.ArchConfig(1)
 	res := core.Run(core.Config{
 		Data: data, ModelCfg: arch,
-		GroupBounds: []int{5, 9},
-		Lambdas:     []float64{0, 0, *lambda},
-		WindowLen:   5,
+		GroupBounds: preset.GroupBounds,
+		Lambdas:     preset.Lambdas(*lambda),
+		WindowLen:   preset.WindowLen,
 		Epochs:      *epochs, BatchSize: 32, LR: 0.05, Momentum: 0.9, ClipNorm: 5,
 		Quant: core.QuantTargetCorrelated, Bits: *bits,
 		FineTuneEpochs: 3, KeepRegDuringFineTune: true,

@@ -1,0 +1,123 @@
+// Command dacserve puts released model files behind the serving subsystem's
+// HTTP API — the deployment half of the threat model. A provider that
+// received a model from an outside trainer can serve predictions from it
+// (micro-batched across concurrent clients, bit-identical to an offline
+// forward pass) and audit it in place for embedded training data:
+//
+//	dacserve -listen :8080 -model prod=released.bin -model canary=other.bin
+//
+//	curl -d '{"model":"prod","input":[...]}' localhost:8080/v1/predict
+//	curl -X POST localhost:8080/v1/models/prod:audit
+//
+// Shutdown on SIGINT/SIGTERM is graceful: the listener stops accepting,
+// in-flight requests drain through final batched passes, then the process
+// exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// modelFlags collects repeated -model name=path pairs in order.
+type modelFlags []struct{ name, path string }
+
+func (m *modelFlags) String() string { return fmt.Sprintf("%d models", len(*m)) }
+
+func (m *modelFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*m = append(*m, struct{ name, path string }{name, path})
+	return nil
+}
+
+func main() {
+	preset := core.CIFARRelease()
+	var models modelFlags
+	flag.Var(&models, "model", "model to serve as name=path (repeatable)")
+	listen := flag.String("listen", ":8080", "HTTP listen address")
+	maxBatch := flag.Int("max-batch", 16, "max requests coalesced into one forward pass")
+	queue := flag.Int("queue", 256, "per-model request queue depth (backpressure bound)")
+	flush := flag.Duration("flush", 2*time.Millisecond, "batching flush window")
+	threads := flag.Int("threads", 0, "worker threads per model engine (0 = all cores)")
+	bounds := flag.String("bounds", preset.BoundsCSV(), "default conv-index group bounds for the audit endpoint")
+	flag.Parse()
+	if len(models) == 0 {
+		fatal(errors.New("at least one -model name=path is required"))
+	}
+
+	gb, err := parseInts(*bounds)
+	if err != nil {
+		fatal(fmt.Errorf("bad -bounds: %w", err))
+	}
+	reg := serve.NewRegistry(serve.Options{
+		MaxBatch:   *maxBatch,
+		QueueDepth: *queue,
+		FlushEvery: *flush,
+		Threads:    *threads,
+	})
+	for _, m := range models {
+		en, err := reg.LoadFile(m.name, m.path)
+		if err != nil {
+			fatal(err)
+		}
+		kind := "full-precision"
+		if en.Quantized {
+			kind = "quantized"
+		}
+		fmt.Printf("loaded %q: %s, %d params, %d bytes (sha256 %s)\n",
+			en.Name, kind, en.Params, en.Size.TotalBytes(), en.Digest[:12])
+	}
+
+	srv := &http.Server{Addr: *listen, Handler: serve.NewServer(reg, gb).Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("serving %d model(s) on %s\n", len(models), *listen)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fatal(err)
+	case sig := <-sigc:
+		fmt.Printf("received %s, draining\n", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "dacserve: shutdown:", err)
+	}
+	reg.Close() // answer anything already queued, then stop the engines
+	fmt.Println("bye")
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		var v int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &v); err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dacserve:", err)
+	os.Exit(1)
+}

@@ -36,6 +36,12 @@ type Ctx struct {
 	threads int
 	arenas  []*Arena
 	tasks   chan task
+	// driving is 1 while a goroutine is inside For/ForChunks. The
+	// single-driver rule has always been part of the contract; now that
+	// serving shares models across concurrent requests, the cheap CAS here
+	// turns an accidental second driver (a silent data race over arenas and
+	// layer state) into an immediate panic at the entry point.
+	driving int32
 }
 
 // task asks the pool to run fn(worker). The worker index rides along with
@@ -61,10 +67,14 @@ func New(threads int) *Ctx {
 		c.arenas[i] = &Arena{}
 	}
 	if threads > 1 {
-		c.tasks = make(chan task)
+		// Workers capture the channel value: Close nils c.tasks, and a
+		// worker that raced to read the field would trip the race detector
+		// even though the contract forbids use-after-Close.
+		tasks := make(chan task)
+		c.tasks = tasks
 		for w := 1; w < threads; w++ {
 			go func() {
-				for t := range c.tasks {
+				for t := range tasks {
 					t.fn(t.worker)
 					t.wg.Done()
 				}
@@ -116,6 +126,18 @@ func (c *Ctx) Close() {
 	}
 }
 
+// acquire marks the context as driven by the calling goroutine; a second
+// concurrent driver panics. Layer passes never nest For/ForChunks calls, so
+// re-entry on one goroutine cannot occur.
+func (c *Ctx) acquire() {
+	if !atomic.CompareAndSwapInt32(&c.driving, 0, 1) {
+		panic("compute: Ctx driven by two goroutines concurrently; give each concurrent model its own Ctx (see the package comment)")
+	}
+}
+
+// release ends the calling goroutine's drive of the context.
+func (c *Ctx) release() { atomic.StoreInt32(&c.driving, 0) }
+
 // dispatch runs fn once per worker (including the caller as worker 0) and
 // waits for all of them.
 func (c *Ctx) dispatch(fn func(worker int)) {
@@ -137,6 +159,8 @@ func (c *Ctx) For(n int, fn func(i int, a *Arena)) {
 	if n <= 0 {
 		return
 	}
+	c.acquire()
+	defer c.release()
 	if c.threads == 1 || n == 1 {
 		a := c.arenas[0]
 		for i := 0; i < n; i++ {
@@ -168,6 +192,8 @@ func (c *Ctx) ForChunks(n int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
+	c.acquire()
+	defer c.release()
 	chunks := c.threads
 	if chunks > n {
 		chunks = n

@@ -179,3 +179,40 @@ func TestArenaGrowthAccumulatesWithinCycle(t *testing.T) {
 		t.Fatal("bad lengths after growth")
 	}
 }
+
+func TestCtxSingleDriverGuardPanics(t *testing.T) {
+	c := New(2)
+	defer c.Close()
+	started := make(chan struct{})
+	unblock := make(chan struct{})
+	go c.For(1, func(i int, _ *Arena) {
+		close(started)
+		<-unblock
+	})
+	<-started
+	defer close(unblock)
+	defer func() {
+		if recover() == nil {
+			t.Error("second concurrent driver did not panic")
+		}
+	}()
+	c.For(1, func(i int, _ *Arena) {})
+}
+
+func TestCtxSequentialDrivesAllowed(t *testing.T) {
+	c := New(3)
+	defer c.Close()
+	// Repeated sequential drives — including from different goroutines, one
+	// at a time — are fine; only overlap is a bug.
+	for k := 0; k < 4; k++ {
+		c.For(8, func(i int, _ *Arena) {})
+		c.ForChunks(8, func(lo, hi int) {})
+	}
+	done := make(chan struct{})
+	go func() {
+		c.For(8, func(i int, _ *Arena) {})
+		close(done)
+	}()
+	<-done
+	c.ForChunks(8, func(lo, hi int) {})
+}

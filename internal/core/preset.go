@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+)
+
+// ReleasePreset bundles the constants both sides of the threat model fix in
+// advance of any particular training run: the data domain, the released
+// architecture, and the adversary's own algorithm parameters (layer-group
+// bounds, payload geometry, decode moment targets). The release tool, the
+// extraction tool, the experiment drivers, and the serving layer all derive
+// their defaults from one preset so the two sides stay in agreement without
+// copy-pasted literals.
+type ReleasePreset struct {
+	// Dataset is the domain configuration with N and Seed left zero; use
+	// DataConfig to fill them per run.
+	Dataset dataset.CIFARConfig
+	// Arch is the released MiniResNet with Seed left zero; use ArchConfig.
+	Arch nn.ResNetConfig
+	// GroupBounds partition conv indices into the paper's layer groups.
+	GroupBounds []int
+	// WindowLen is the std-window length d of the pre-processing step.
+	WindowLen float64
+	// Geom is the payload image geometry [C, H, W].
+	Geom [3]int
+	// DecodeMean and DecodeStd are the domain pixel statistics the
+	// adversary's extraction moment-matches to.
+	DecodeMean, DecodeStd float64
+}
+
+// CIFARRelease is the preset shared by dacrelease, dacextract, dacserve,
+// and the CIFAR-like experiment drivers: grayscale 12×12 images, a
+// three-stage MiniResNet, and the paper's early/middle/late group split.
+func CIFARRelease() ReleasePreset {
+	return ReleasePreset{
+		Dataset: dataset.CIFARConfig{
+			Classes: 10, H: 12, W: 12,
+			ContrastStd: 0.32, NoiseStd: 25, TemplateShare: 0.6,
+		},
+		Arch: nn.ResNetConfig{
+			InC: 1, InH: 12, InW: 12, Classes: 10,
+			Widths: []int{6, 12, 24}, Blocks: []int{2, 2, 2},
+		},
+		GroupBounds: []int{5, 9},
+		WindowLen:   5,
+		Geom:        [3]int{1, 12, 12},
+		DecodeMean:  128,
+		DecodeStd:   54,
+	}
+}
+
+// DataConfig returns the preset's dataset configuration with the run's
+// sample count and seed filled in.
+func (p ReleasePreset) DataConfig(n int, seed int64) dataset.CIFARConfig {
+	cfg := p.Dataset
+	cfg.N = n
+	cfg.Seed = seed
+	return cfg
+}
+
+// ArchConfig returns the preset's architecture with the run's weight
+// initialization seed filled in.
+func (p ReleasePreset) ArchConfig(seed int64) nn.ResNetConfig {
+	cfg := p.Arch
+	cfg.Seed = seed
+	cfg.Widths = append([]int(nil), p.Arch.Widths...)
+	cfg.Blocks = append([]int(nil), p.Arch.Blocks...)
+	return cfg
+}
+
+// Lambdas returns the per-group correlation rates for the paper's proposed
+// flow: zero everywhere except the final (payload-carrying) group.
+func (p ReleasePreset) Lambdas(last float64) []float64 {
+	l := make([]float64, len(p.GroupBounds)+1)
+	l[len(l)-1] = last
+	return l
+}
+
+// BoundsCSV renders the group bounds as the comma-separated form the CLI
+// flags use ("5,9").
+func (p ReleasePreset) BoundsCSV() string {
+	parts := make([]string, len(p.GroupBounds))
+	for i, b := range p.GroupBounds {
+		parts[i] = fmt.Sprintf("%d", b)
+	}
+	return strings.Join(parts, ",")
+}
+
+// GeomString renders the payload geometry as the CxHxW form the CLI flags
+// use ("1x12x12").
+func (p ReleasePreset) GeomString() string {
+	return fmt.Sprintf("%dx%dx%d", p.Geom[0], p.Geom[1], p.Geom[2])
+}

@@ -96,11 +96,9 @@ func (e *Env) CIFARRGB() *dataset.Dataset {
 }
 
 func (e *Env) cifarCfg(rgb bool) dataset.CIFARConfig {
-	return dataset.CIFARConfig{
-		N: e.cifarN(), Classes: 10, H: 12, W: 12, RGB: rgb,
-		Seed:        e.Seed + 100,
-		ContrastStd: 0.32, NoiseStd: 25, TemplateShare: 0.6,
-	}
+	cfg := core.CIFARRelease().DataConfig(e.cifarN(), e.Seed+100)
+	cfg.RGB = rgb
+	return cfg
 }
 
 // Faces returns the synthetic face dataset (memoized).
@@ -125,11 +123,9 @@ func (e *Env) dataset(key string, build func() *dataset.Dataset) *dataset.Datase
 
 // cifarModel returns the MiniResNet config for a CIFAR-like dataset.
 func (e *Env) cifarModel(channels int) nn.ResNetConfig {
-	return nn.ResNetConfig{
-		InC: channels, InH: 12, InW: 12, Classes: 10,
-		Widths: []int{6, 12, 24}, Blocks: []int{2, 2, 2},
-		Seed: e.Seed + 300,
-	}
+	cfg := core.CIFARRelease().ArchConfig(e.Seed + 300)
+	cfg.InC = channels
+	return cfg
 }
 
 // faceModel returns the MiniResNet config for the face dataset.
@@ -143,7 +139,7 @@ func (e *Env) faceModel(classes int) nn.ResNetConfig {
 
 // groupBounds is the conv-index partition mirroring the paper's ResNet-34
 // grouping (early feature extractors / middle / payload-carrying tail).
-var groupBounds = []int{5, 9}
+var groupBounds = core.CIFARRelease().GroupBounds
 
 // baseCfg assembles the shared training configuration.
 func (e *Env) baseCfg(d *dataset.Dataset, model nn.ResNetConfig) core.Config {

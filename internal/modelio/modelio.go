@@ -9,7 +9,11 @@
 package modelio
 
 import (
+	"bytes"
+	"crypto/sha256"
 	"encoding/gob"
+	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -18,6 +22,15 @@ import (
 	"repro/internal/nn"
 	"repro/internal/quantize"
 )
+
+// magic identifies a released model file; the trailing digit is the format
+// version. Read rejects anything else up front so that a wrong file (or a
+// pre-versioned stream) fails with ErrBadMagic instead of a gob decode
+// error deep in the payload.
+const magic = "DACMRM1\n"
+
+// ErrBadMagic reports that a stream is not a released model file.
+var ErrBadMagic = errors.New("modelio: bad magic (not a released model file)")
 
 // ParamBlob is one full-precision parameter tensor.
 type ParamBlob struct {
@@ -149,18 +162,91 @@ func Import(rm *ReleasedModel) (*nn.Model, *quantize.Applied, error) {
 	return m, applied, nil
 }
 
-// Write serializes rm to w with gob.
+// Write serializes rm to w: the magic header followed by a gob payload.
 func Write(w io.Writer, rm *ReleasedModel) error {
-	return gob.NewEncoder(w).Encode(rm)
+	if err := validate(rm); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, magic); err != nil {
+		return fmt.Errorf("modelio: write header: %w", err)
+	}
+	if err := gob.NewEncoder(w).Encode(rm); err != nil {
+		return fmt.Errorf("modelio: encode: %w", err)
+	}
+	return nil
 }
 
-// Read deserializes a ReleasedModel from r.
+// Read deserializes a ReleasedModel from r, verifying the magic header and
+// the structural consistency of the payload. Truncated or foreign streams
+// return wrapped errors (io.ErrUnexpectedEOF, ErrBadMagic) — never a panic.
 func Read(r io.Reader) (*ReleasedModel, error) {
+	hdr := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("modelio: truncated header: %w", io.ErrUnexpectedEOF)
+		}
+		return nil, fmt.Errorf("modelio: read header: %w", err)
+	}
+	if string(hdr) != magic {
+		return nil, fmt.Errorf("%w: header %q", ErrBadMagic, hdr)
+	}
 	var rm ReleasedModel
 	if err := gob.NewDecoder(r).Decode(&rm); err != nil {
 		return nil, fmt.Errorf("modelio: decode: %w", err)
 	}
+	if err := validate(&rm); err != nil {
+		return nil, err
+	}
 	return &rm, nil
+}
+
+// ReadWithDigest reads a released model from r and also returns the hex
+// SHA-256 of the entire stream — the content hash serving registries key
+// models on. r is consumed to EOF so the digest covers the whole file, not
+// just the bytes the decoder happened to buffer.
+func ReadWithDigest(r io.Reader) (*ReleasedModel, string, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, "", fmt.Errorf("modelio: read: %w", err)
+	}
+	rm, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		return nil, "", err
+	}
+	sum := sha256.Sum256(raw)
+	return rm, hex.EncodeToString(sum[:]), nil
+}
+
+// validate checks the structural invariants a well-formed ReleasedModel
+// satisfies, so a corrupted file fails with a descriptive error instead of
+// an index panic in Import.
+func validate(rm *ReleasedModel) error {
+	for _, b := range rm.Dense {
+		n := 1
+		for _, d := range b.Shape {
+			if d <= 0 {
+				return fmt.Errorf("modelio: parameter %q has invalid shape %v", b.Name, b.Shape)
+			}
+			n *= d
+		}
+		if len(b.Shape) == 0 || n != len(b.Values) {
+			return fmt.Errorf("modelio: parameter %q shape %v does not match %d values", b.Name, b.Shape, len(b.Values))
+		}
+	}
+	for _, qu := range rm.Quantized {
+		if len(qu.Levels) == 0 || len(qu.Levels) > 256 {
+			return fmt.Errorf("modelio: unit %q has %d codebook levels (want 1..256)", qu.Name, len(qu.Levels))
+		}
+		if len(qu.ParamNames) != len(qu.Indices) {
+			return fmt.Errorf("modelio: unit %q has %d parameter names but %d index slices", qu.Name, len(qu.ParamNames), len(qu.Indices))
+		}
+	}
+	for _, bn := range rm.BNStats {
+		if len(bn.RunMean) != len(bn.RunVar) {
+			return fmt.Errorf("modelio: batch-norm %q has %d means but %d variances", bn.Name, len(bn.RunMean), len(bn.RunVar))
+		}
+	}
+	return nil
 }
 
 // Save writes the model file at path.
@@ -184,6 +270,17 @@ func Load(path string) (*ReleasedModel, error) {
 	}
 	defer f.Close()
 	return Read(f)
+}
+
+// LoadWithDigest reads a model file from path along with the hex SHA-256 of
+// its contents.
+func LoadWithDigest(path string) (*ReleasedModel, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	return ReadWithDigest(f)
 }
 
 // SizeReport describes the storage footprint of a released model.

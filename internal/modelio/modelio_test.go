@@ -2,7 +2,12 @@ package modelio
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"io"
 	"math/rand"
+	"os"
 	"testing"
 
 	"repro/internal/nn"
@@ -198,5 +203,130 @@ func checkSameOutputs(t *testing.T, a, b *nn.Model) {
 		if ya.Data()[i] != yb.Data()[i] {
 			t.Fatalf("logit %d differs: %v vs %v", i, ya.Data()[i], yb.Data()[i])
 		}
+	}
+}
+
+// encodeValid returns a well-formed serialized model for corruption tests.
+func encodeValid(t *testing.T, seed int64) []byte {
+	t.Helper()
+	m := trainedish(seed)
+	a := quantize.QuantizeModel(m, quantize.WeightedEntropy{}, 8)
+	rm, err := Export(m, arch(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, rm); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReadTruncatedFails(t *testing.T) {
+	raw := encodeValid(t, 20)
+	// Cut inside the magic header, right after it, and mid-payload: every
+	// truncation must surface as a wrapped error, never a panic.
+	for _, n := range []int{0, 3, len(magic), len(magic) + 10, len(raw) / 2, len(raw) - 1} {
+		if _, err := Read(bytes.NewReader(raw[:n])); err == nil {
+			t.Fatalf("truncation at %d bytes: expected error", n)
+		}
+	}
+	if _, err := Read(bytes.NewReader(raw[:3])); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("header truncation error = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestReadBadMagicFails(t *testing.T) {
+	raw := encodeValid(t, 21)
+	raw[0] ^= 0xff
+	_, err := Read(bytes.NewReader(raw))
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("error = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestReadRejectsShapeMismatch(t *testing.T) {
+	m := trainedish(22)
+	rm, err := Export(m, arch(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm.Dense[0].Values = rm.Dense[0].Values[:len(rm.Dense[0].Values)-1]
+	var buf bytes.Buffer
+	if err := Write(&buf, rm); err == nil {
+		// Write validates too; if it somehow passed, Read must not.
+		if _, err := Read(&buf); err == nil {
+			t.Fatal("expected shape-mismatch error")
+		}
+	}
+}
+
+func TestReadRejectsUnitMismatch(t *testing.T) {
+	m := trainedish(23)
+	a := quantize.QuantizeModel(m, quantize.WeightedEntropy{}, 8)
+	rm, err := Export(m, arch(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Detach one index slice from its parameter name: Import would index
+	// past ParamNames without the structural validation.
+	rm.Quantized[0].Indices = rm.Quantized[0].Indices[:len(rm.Quantized[0].Indices)-1]
+	if err := validate(rm); err == nil {
+		t.Fatal("expected unit-mismatch error")
+	}
+}
+
+func TestReadRejectsEmptyCodebook(t *testing.T) {
+	m := trainedish(24)
+	a := quantize.QuantizeModel(m, quantize.WeightedEntropy{}, 8)
+	rm, err := Export(m, arch(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm.Quantized[0].Levels = nil
+	if err := validate(rm); err == nil {
+		t.Fatal("expected empty-codebook error")
+	}
+}
+
+func TestReadWithDigest(t *testing.T) {
+	raw := encodeValid(t, 25)
+	rm, d1, err := ReadWithDigest(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm == nil || len(d1) != 64 {
+		t.Fatalf("digest %q not a hex sha-256", d1)
+	}
+	_, d2, err := ReadWithDigest(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("digest not stable: %s vs %s", d1, d2)
+	}
+	other := encodeValid(t, 26)
+	_, d3, err := ReadWithDigest(bytes.NewReader(other))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 == d1 {
+		t.Fatal("different files share a digest")
+	}
+}
+
+func TestLoadWithDigestMatchesFileHash(t *testing.T) {
+	raw := encodeValid(t, 27)
+	path := t.TempDir() + "/model.bin"
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, d, err := LoadWithDigest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(raw)
+	if d != hex.EncodeToString(sum[:]) {
+		t.Fatalf("digest %s != file hash", d)
 	}
 }

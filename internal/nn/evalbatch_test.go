@@ -1,0 +1,76 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/compute"
+	"repro/internal/tensor"
+)
+
+// The serving batcher coalesces concurrent requests into one forward pass,
+// which is only sound if batching is invisible: sample i of a batched eval
+// must be bit-identical to evaluating sample i alone. This pins that
+// contract for a full ResNet (conv, batch norm in eval mode, pooling,
+// residual adds, dense) across batch compositions and thread counts.
+func TestEvalBatchBitIdenticalToSingle(t *testing.T) {
+	m := detModel()
+	// Non-trivial batch-norm running stats so the eval path has real work.
+	rng := rand.New(rand.NewSource(90))
+	m.ForwardTrain(tensor.New(6, 1, 8, 8).RandN(rng, 0, 1))
+
+	u := m.InputLen()
+	inputs := make([][]float64, 7)
+	for i := range inputs {
+		in := make([]float64, u)
+		for j := range in {
+			in[j] = rng.NormFloat64()
+		}
+		inputs[i] = in
+	}
+
+	// Reference: each sample alone, serial context.
+	m.SetCtx(compute.Serial())
+	ref := make([][]float64, len(inputs))
+	for i, in := range inputs {
+		rows, err := m.EvalBatch([][]float64{in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref[i] = rows[0]
+	}
+
+	for _, threads := range []int{1, 3} {
+		m.SetThreads(threads)
+		// The whole batch at once, and a lopsided split — every composition
+		// must reproduce the single-sample rows exactly.
+		for _, split := range [][]int{{len(inputs)}, {2, 5}, {1, 3, 3}} {
+			lo := 0
+			for _, n := range split {
+				rows, err := m.EvalBatch(inputs[lo : lo+n])
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, row := range rows {
+					for j, v := range row {
+						if v != ref[lo+i][j] {
+							t.Fatalf("threads=%d split=%v: sample %d logit %d: %v != %v",
+								threads, split, lo+i, j, v, ref[lo+i][j])
+						}
+					}
+				}
+				lo += n
+			}
+		}
+	}
+}
+
+func TestEvalBatchRejectsBadLength(t *testing.T) {
+	m := detModel()
+	if _, err := m.EvalBatch([][]float64{make([]float64, m.InputLen()-1)}); err == nil {
+		t.Fatal("expected length error")
+	}
+	if rows, err := m.EvalBatch(nil); err != nil || rows != nil {
+		t.Fatalf("empty batch: rows=%v err=%v", rows, err)
+	}
+}

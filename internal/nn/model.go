@@ -120,6 +120,46 @@ func (m *Model) Backward(grad *tensor.Tensor) {
 	m.Net.Backward(m.Ctx(), grad)
 }
 
+// InputLen returns the flattened per-sample input length.
+func (m *Model) InputLen() int {
+	n := 1
+	for _, d := range m.InputShape {
+		n *= d
+	}
+	return n
+}
+
+// EvalBatch runs one inference forward pass over a batch of flattened
+// per-sample inputs and returns one logits row per sample. Every layer's
+// inference path is per-sample independent (batch norm reads running
+// statistics, conv/dense/pool map each sample on its own), so each row is
+// bit-identical to what a single-sample Forward of the same input produces —
+// the property the serving batcher relies on to coalesce concurrent
+// requests without changing anyone's answer. Pinned by
+// TestEvalBatchBitIdenticalToSingle.
+func (m *Model) EvalBatch(inputs [][]float64) ([][]float64, error) {
+	if len(inputs) == 0 {
+		return nil, nil
+	}
+	u := m.InputLen()
+	x := tensor.New(append([]int{len(inputs)}, m.InputShape...)...)
+	xd := x.Data()
+	for i, in := range inputs {
+		if len(in) != u {
+			return nil, fmt.Errorf("nn: EvalBatch input %d has %d values, model takes %d", i, len(in), u)
+		}
+		copy(xd[i*u:(i+1)*u], in)
+	}
+	logits := m.Forward(x)
+	k := logits.Dim(1)
+	ld := logits.Data()
+	out := make([][]float64, len(inputs))
+	for i := range out {
+		out[i] = append([]float64(nil), ld[i*k:(i+1)*k]...)
+	}
+	return out, nil
+}
+
 // Predict returns the argmax class for each sample in x, evaluating in
 // chunks of batchSize to bound memory.
 func (m *Model) Predict(x *tensor.Tensor, batchSize int) []int {

@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/compute"
+	"repro/internal/nn"
+)
+
+// Prediction is the serving result for one input sample.
+type Prediction struct {
+	// Class is the argmax class.
+	Class int `json:"class"`
+	// Probs is the softmax distribution over classes.
+	Probs []float64 `json:"probs"`
+	// Logits are the raw pre-softmax scores; bit-identical to a serial
+	// single-sample forward pass of the same input.
+	Logits []float64 `json:"logits"`
+}
+
+type request struct {
+	input []float64
+	resp  chan result
+}
+
+type result struct {
+	pred Prediction
+	err  error
+}
+
+// Engine micro-batches concurrent prediction requests into shared forward
+// passes over one model. Requests enter a bounded queue; the engine
+// goroutine coalesces them and flushes a batch when it reaches MaxBatch or
+// when a tick arrives (from the flush-window timer, or an explicit Tick).
+// The engine goroutine is the sole driver of the model's compute context.
+type Engine struct {
+	model    *nn.Model
+	ctx      *compute.Ctx
+	inLen    int
+	maxBatch int
+
+	queue chan *request
+	tick  chan struct{}
+	quit  chan struct{}
+	done  chan struct{}
+
+	// mu orders Submit enqueues against Close: a submission that saw
+	// closed == false has fully enqueued before Close proceeds, so the
+	// drain pass answers every queued request and none is stranded.
+	mu     sync.RWMutex
+	closed bool
+
+	stats      *EngineStats
+	stopTicker chan struct{} // nil when FlushEvery < 0
+
+	// beforeFlush, when set (tests only), runs at the start of every flush
+	// while the engine goroutine is busy — the hook deterministic
+	// backpressure tests use to fill the queue behind a stalled engine.
+	beforeFlush func(batch int)
+}
+
+func newEngine(m *nn.Model, opts Options) *Engine {
+	e := &Engine{
+		model:    m,
+		ctx:      compute.New(opts.Threads),
+		inLen:    m.InputLen(),
+		maxBatch: opts.MaxBatch,
+		queue:    make(chan *request, opts.QueueDepth),
+		tick:     make(chan struct{}),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+		stats:    newEngineStats(opts.MaxBatch),
+	}
+	m.SetCtx(e.ctx)
+	go e.loop()
+	if opts.FlushEvery > 0 {
+		e.stopTicker = make(chan struct{})
+		go e.runTicker(opts.FlushEvery)
+	}
+	return e
+}
+
+// Submit enqueues one input and blocks until its batch is evaluated. It
+// fails fast with ErrQueueFull when the queue is at capacity and ErrClosed
+// after Close.
+func (e *Engine) Submit(input []float64) (Prediction, error) {
+	if len(input) != e.inLen {
+		return Prediction{}, fmt.Errorf("serve: input has %d values, model takes %d", len(input), e.inLen)
+	}
+	r := &request{input: input, resp: make(chan result, 1)}
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return Prediction{}, ErrClosed
+	}
+	select {
+	case e.queue <- r:
+		e.mu.RUnlock()
+		e.stats.recordAccepted()
+	default:
+		e.mu.RUnlock()
+		e.stats.recordRejected()
+		return Prediction{}, ErrQueueFull
+	}
+	res := <-r.resp
+	return res.pred, res.err
+}
+
+// Tick forces a flush of whatever is pending, blocking until the engine
+// observes it. After Close it is a no-op. The flush-window timer calls this
+// on every period; deterministic tests call it directly.
+func (e *Engine) Tick() {
+	select {
+	case e.tick <- struct{}{}:
+	case <-e.done:
+	}
+}
+
+// QueueLen reports the current queue depth (excluding requests the engine
+// has already pulled into its pending batch).
+func (e *Engine) QueueLen() int { return len(e.queue) }
+
+// Stats returns a consistent snapshot of the engine's counters.
+func (e *Engine) Stats() Snapshot { return e.stats.snapshot(len(e.queue)) }
+
+// Close rejects new submissions, drains every request already accepted
+// through final batched passes, stops the engine goroutine, and releases
+// its compute context. Safe to call more than once.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		<-e.done
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	if e.stopTicker != nil {
+		close(e.stopTicker)
+	}
+	close(e.quit)
+	<-e.done
+	e.ctx.Close()
+}
+
+func (e *Engine) loop() {
+	defer close(e.done)
+	pending := make([]*request, 0, e.maxBatch)
+	for {
+		select {
+		case r := <-e.queue:
+			pending = append(pending, r)
+			if len(pending) >= e.maxBatch {
+				e.flush(&pending)
+			}
+		case <-e.tick:
+			e.flush(&pending)
+		case <-e.quit:
+			// Drain: closed was set before quit closed, so no new request
+			// can enter the queue and its length is final.
+			for {
+				select {
+				case r := <-e.queue:
+					pending = append(pending, r)
+					if len(pending) >= e.maxBatch {
+						e.flush(&pending)
+					}
+				default:
+					e.flush(&pending)
+					return
+				}
+			}
+		}
+	}
+}
+
+// flush evaluates the pending batch in arrival order and answers each
+// request. Per-sample results do not depend on how requests were batched.
+func (e *Engine) flush(pending *[]*request) {
+	batch := *pending
+	if len(batch) == 0 {
+		return
+	}
+	*pending = (*pending)[:0]
+	if e.beforeFlush != nil {
+		e.beforeFlush(len(batch))
+	}
+	inputs := make([][]float64, len(batch))
+	for i, r := range batch {
+		inputs[i] = r.input
+	}
+	start := time.Now()
+	logits, err := e.model.EvalBatch(inputs)
+	lat := time.Since(start)
+	if err != nil {
+		for _, r := range batch {
+			r.resp <- result{err: err}
+		}
+		e.stats.recordError(len(batch))
+		return
+	}
+	for i, r := range batch {
+		r.resp <- result{pred: Prediction{
+			Class:  argmax(logits[i]),
+			Probs:  softmax(logits[i]),
+			Logits: logits[i],
+		}}
+	}
+	e.stats.recordBatch(len(batch), lat)
+}
+
+func (e *Engine) runTicker(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			e.Tick()
+		case <-e.stopTicker:
+			return
+		}
+	}
+}
+
+func argmax(v []float64) int {
+	best := 0
+	for i, x := range v {
+		if x > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// softmax matches nn.Softmax's stable formulation (max subtraction) so
+// served probabilities are bit-identical to offline ones.
+func softmax(logits []float64) []float64 {
+	out := make([]float64, len(logits))
+	maxV := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	sum := 0.0
+	for i, v := range logits {
+		e := math.Exp(v - maxV)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}

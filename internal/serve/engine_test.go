@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// submitAll submits every input on its own goroutine and returns the
+// predictions and errors once all have been answered. tickUntilDone keeps
+// ticking the engine so tick-flushed batches make progress without any
+// timing assumptions.
+func submitAll(e *Engine, inputs [][]float64, tickUntilDone bool) ([]Prediction, []error) {
+	preds := make([]Prediction, len(inputs))
+	errs := make([]error, len(inputs))
+	var wg sync.WaitGroup
+	for i, in := range inputs {
+		wg.Add(1)
+		go func(i int, in []float64) {
+			defer wg.Done()
+			preds[i], errs[i] = e.Submit(in)
+		}(i, in)
+	}
+	if tickUntilDone {
+		done := make(chan struct{})
+		go func() {
+			wg.Wait()
+			close(done)
+		}()
+		for {
+			select {
+			case <-done:
+				return preds, errs
+			default:
+				e.Tick()
+			}
+		}
+	}
+	wg.Wait()
+	return preds, errs
+}
+
+// A full batch must flush on size alone — no tick, no timer.
+func TestEngineFlushesOnBatchSize(t *testing.T) {
+	m := testModel(1)
+	e := newEngine(m, manualOpts(4, 16).withDefaults())
+	defer e.Close()
+
+	inputs := testInputs(4, m.InputLen(), 10)
+	preds, errs := submitAll(e, inputs, false)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if len(preds[i].Probs) != 4 || len(preds[i].Logits) != 4 {
+			t.Fatalf("submit %d: malformed prediction %+v", i, preds[i])
+		}
+	}
+	snap := e.Stats()
+	if snap.Batches != 1 || snap.BatchHist[4] != 1 {
+		t.Fatalf("expected one size-4 batch, got %+v", snap)
+	}
+	if snap.Served != 4 || snap.Accepted != 4 {
+		t.Fatalf("expected 4 served/accepted, got %+v", snap)
+	}
+}
+
+// A partial batch must flush on an explicit tick.
+func TestEngineFlushesOnTick(t *testing.T) {
+	m := testModel(2)
+	e := newEngine(m, manualOpts(8, 16).withDefaults())
+	defer e.Close()
+
+	inputs := testInputs(3, m.InputLen(), 11)
+	_, errs := submitAll(e, inputs, true)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	snap := e.Stats()
+	if snap.Served != 3 {
+		t.Fatalf("expected 3 served, got %+v", snap)
+	}
+	var histTotal int64
+	for size, n := range snap.BatchHist {
+		histTotal += int64(size) * n
+	}
+	if histTotal != 3 {
+		t.Fatalf("batch histogram accounts for %d samples, want 3: %+v", histTotal, snap)
+	}
+}
+
+// When the engine is busy and the queue is full, Submit must fail fast
+// with ErrQueueFull instead of blocking — the 429 backpressure path.
+func TestEngineBackpressure(t *testing.T) {
+	m := testModel(3)
+	opts := manualOpts(2, 2).withDefaults()
+	e := newEngine(m, opts)
+	defer e.Close()
+
+	inFlush := make(chan struct{})
+	release := make(chan struct{})
+	var hooked sync.Once
+	e.beforeFlush = func(int) {
+		hooked.Do(func() {
+			close(inFlush)
+			<-release
+		})
+	}
+
+	// Two submissions trigger a size flush, which stalls in the hook.
+	first := testInputs(2, m.InputLen(), 12)
+	var wg sync.WaitGroup
+	for _, in := range first {
+		wg.Add(1)
+		go func(in []float64) {
+			defer wg.Done()
+			if _, err := e.Submit(in); err != nil {
+				t.Errorf("stalled batch submit: %v", err)
+			}
+		}(in)
+	}
+	<-inFlush
+
+	// The engine goroutine is stalled, so these fill the queue...
+	queued := testInputs(2, m.InputLen(), 13)
+	for _, in := range queued {
+		wg.Add(1)
+		go func(in []float64) {
+			defer wg.Done()
+			if _, err := e.Submit(in); err != nil {
+				t.Errorf("queued submit: %v", err)
+			}
+		}(in)
+	}
+	for e.QueueLen() < 2 {
+		runtime.Gosched()
+	}
+	// ...and the next submission must bounce.
+	if _, err := e.Submit(testInputs(1, m.InputLen(), 14)[0]); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if snap := e.Stats(); snap.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", snap.Rejected)
+	}
+
+	close(release)
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+			e.Tick()
+		}
+	}
+}
+
+// Close must answer every accepted request (drain), then reject new ones.
+func TestEngineCloseDrains(t *testing.T) {
+	m := testModel(4)
+	e := newEngine(m, manualOpts(8, 16).withDefaults())
+
+	inputs := testInputs(3, m.InputLen(), 15)
+	preds := make([]Prediction, len(inputs))
+	errs := make([]error, len(inputs))
+	var wg sync.WaitGroup
+	for i, in := range inputs {
+		wg.Add(1)
+		go func(i int, in []float64) {
+			defer wg.Done()
+			preds[i], errs[i] = e.Submit(in)
+		}(i, in)
+	}
+	// Wait until all three are accepted (in the queue or already pulled
+	// into the engine's pending batch), then close: the drain pass must
+	// answer them without any tick.
+	for e.Stats().Accepted < 3 {
+		runtime.Gosched()
+	}
+	e.Close()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("drained submit %d: %v", i, err)
+		}
+		if len(preds[i].Probs) != 4 {
+			t.Fatalf("drained submit %d: malformed prediction", i)
+		}
+	}
+	if _, err := e.Submit(inputs[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close err = %v, want ErrClosed", err)
+	}
+	e.Close() // idempotent
+}
+
+// Submissions with the wrong input length fail up front.
+func TestEngineRejectsBadInput(t *testing.T) {
+	m := testModel(5)
+	e := newEngine(m, manualOpts(4, 8).withDefaults())
+	defer e.Close()
+	if _, err := e.Submit(make([]float64, m.InputLen()+1)); err == nil {
+		t.Fatal("expected input-length error")
+	}
+}

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/modelio"
+	"repro/internal/nn"
+	"repro/internal/quantize"
+	"repro/internal/tensor"
+)
+
+func testArch() nn.ResNetConfig {
+	return nn.ResNetConfig{
+		InC: 1, InH: 8, InW: 8, Classes: 4,
+		Widths: []int{4, 8}, Blocks: []int{1, 1}, Seed: 77,
+	}
+}
+
+// testModel builds a small ResNet with non-trivial weights and batch-norm
+// running statistics, deterministically from seed.
+func testModel(seed int64) *nn.Model {
+	m := nn.NewResNet(testArch())
+	rng := rand.New(rand.NewSource(seed))
+	for _, p := range m.Params() {
+		p.Value.RandN(rng, 0, 0.1)
+	}
+	m.ForwardTrain(tensor.New(8, 1, 8, 8).RandN(rng, 0, 1))
+	return m
+}
+
+// writeReleased exports a test model (quantized when asked) to a released
+// file under t.TempDir and returns its path.
+func writeReleased(t testing.TB, seed int64, quantized bool) string {
+	t.Helper()
+	m := testModel(seed)
+	var applied *quantize.Applied
+	if quantized {
+		applied = quantize.QuantizeModel(m, quantize.WeightedEntropy{}, 8)
+	}
+	rm, err := modelio.Export(m, testArch(), applied)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.bin")
+	if err := modelio.Save(path, rm); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// referenceModel re-imports a released file on a serial context, the
+// offline twin every served prediction is compared against.
+func referenceModel(t testing.TB, path string) *nn.Model {
+	t.Helper()
+	rm, err := modelio.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := modelio.Import(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// testInputs generates n deterministic flattened inputs.
+func testInputs(n, length int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		in := make([]float64, length)
+		for j := range in {
+			in[j] = rng.NormFloat64()
+		}
+		out[i] = in
+	}
+	return out
+}
+
+// manualOpts returns options with the flush timer disabled: batches flush
+// only on size or explicit Tick, so tests are deterministic.
+func manualOpts(maxBatch, queueDepth int) Options {
+	return Options{MaxBatch: maxBatch, QueueDepth: queueDepth, FlushEvery: -1, Threads: 2}
+}
+
+// fileBytes reads a whole file, failing the test on error.
+func fileBytes(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/modelio"
+	"repro/internal/nn"
+)
+
+// Entry is one registered model: the imported network, its serving engine,
+// and the release metadata clients see.
+type Entry struct {
+	// Name is the registry key the model serves under.
+	Name string
+	// Digest is the hex SHA-256 of the released file's bytes; two loads of
+	// byte-identical files get the same digest regardless of name.
+	Digest string
+	// Arch is the released architecture.
+	Arch nn.ResNetConfig
+	// Quantized reports whether the release carries codebook-compressed
+	// units.
+	Quantized bool
+	// Params is the scalar parameter count.
+	Params int
+	// Size is the release's storage footprint.
+	Size modelio.SizeReport
+
+	model  *nn.Model
+	engine *Engine
+}
+
+// Predict submits one flattened input to the model's batching engine and
+// blocks for the result.
+func (en *Entry) Predict(input []float64) (Prediction, error) {
+	return en.engine.Submit(input)
+}
+
+// Model exposes the imported network for weight inspection (the audit
+// endpoint). Forward passes must go through Predict — the engine goroutine
+// owns the model's compute context.
+func (en *Entry) Model() *nn.Model { return en.model }
+
+// Stats returns the engine's counters.
+func (en *Entry) Stats() Snapshot { return en.engine.Stats() }
+
+// Tick forces the engine to flush its pending batch (see Engine.Tick).
+func (en *Entry) Tick() { en.engine.Tick() }
+
+// Registry holds the models a server is willing to serve, keyed by name.
+// All methods are safe for concurrent use; Load hot-swaps atomically.
+type Registry struct {
+	opts Options
+
+	mu     sync.RWMutex
+	models map[string]*Entry
+	closed bool
+}
+
+// NewRegistry builds an empty registry whose engines use opts.
+func NewRegistry(opts Options) *Registry {
+	return &Registry{opts: opts.withDefaults(), models: map[string]*Entry{}}
+}
+
+// Options returns the registry's resolved engine options.
+func (r *Registry) Options() Options { return r.opts }
+
+// Load reads a released model from src and registers it under name,
+// starting its batching engine. If the name is taken, the new model is
+// swapped in atomically: requests that already reached the old engine are
+// drained through final batched passes, later ones see the new model.
+func (r *Registry) Load(name string, src io.Reader) (*Entry, error) {
+	if name == "" {
+		return nil, fmt.Errorf("serve: model name must be non-empty")
+	}
+	rm, digest, err := modelio.ReadWithDigest(src)
+	if err != nil {
+		return nil, fmt.Errorf("serve: load %q: %w", name, err)
+	}
+	m, _, err := modelio.Import(rm)
+	if err != nil {
+		return nil, fmt.Errorf("serve: load %q: %w", name, err)
+	}
+	en := &Entry{
+		Name:      name,
+		Digest:    digest,
+		Arch:      rm.Arch,
+		Quantized: len(rm.Quantized) > 0,
+		Params:    m.NumParams(),
+		Size:      modelio.Size(rm),
+		model:     m,
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrClosed
+	}
+	en.engine = newEngine(m, r.opts)
+	old := r.models[name]
+	r.models[name] = en
+	r.mu.Unlock()
+	if old != nil {
+		old.engine.Close()
+	}
+	return en, nil
+}
+
+// LoadFile reads a released model file from path and registers it.
+func (r *Registry) LoadFile(name, path string) (*Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: load %q: %w", name, err)
+	}
+	defer f.Close()
+	return r.Load(name, f)
+}
+
+// Get returns the entry serving under name.
+func (r *Registry) Get(name string) (*Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	en, ok := r.models[name]
+	return en, ok
+}
+
+// List returns all entries sorted by name.
+func (r *Registry) List() []*Entry {
+	r.mu.RLock()
+	out := make([]*Entry, 0, len(r.models))
+	for _, en := range r.models {
+		out = append(out, en)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Remove unregisters name, draining and stopping its engine. It reports
+// whether a model was removed.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	en, ok := r.models[name]
+	delete(r.models, name)
+	r.mu.Unlock()
+	if ok {
+		en.engine.Close()
+	}
+	return ok
+}
+
+// Stats returns a per-model snapshot map.
+func (r *Registry) Stats() map[string]Snapshot {
+	out := make(map[string]Snapshot)
+	for _, en := range r.List() {
+		out[en.Name] = en.Stats()
+	}
+	return out
+}
+
+// Close drains and stops every engine and rejects further loads. Requests
+// already accepted complete; later ones fail with ErrClosed.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	r.closed = true
+	entries := make([]*Entry, 0, len(r.models))
+	for _, en := range r.models {
+		entries = append(entries, en)
+	}
+	r.mu.Unlock()
+	for _, en := range entries {
+		en.engine.Close()
+	}
+}

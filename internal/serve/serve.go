@@ -1,0 +1,77 @@
+// Package serve turns released model files into a concurrently served
+// inference endpoint — the deployment half of the paper's threat model.
+// dacrelease writes a model file; this package is what a model marketplace
+// or MLaaS provider would run on top of it: a registry of loaded models
+// (full-precision and quantized alike), a micro-batching engine that
+// coalesces concurrent prediction requests into shared forward passes, and
+// an HTTP JSON API that also exposes the paper's defender-side audit so a
+// data holder can inspect a model for embedded payloads before putting it
+// in front of users.
+//
+// # Bit-reproducibility under batching
+//
+// Serving must not perturb the numbers the threat-model evaluation is built
+// on: a prediction's logits are the same whether the request rode alone or
+// was coalesced into a batch, and the same for every engine thread count.
+// Two properties make that hold: nn.Model.EvalBatch is per-sample
+// bit-identical to single-sample evaluation (batching only packs tensors),
+// and the compute package's determinism contract makes each forward
+// bit-identical across worker counts. Batch composition under load is
+// timing-dependent; the answers are not.
+//
+// # Concurrency model
+//
+// Each registered model owns one engine goroutine and one compute.Ctx; the
+// engine goroutine is the context's only driver (a compute.Ctx must never
+// have two). Requests enter through a bounded channel queue and are
+// answered on per-request channels. The queue bound is the backpressure
+// mechanism: when it is full, Submit fails fast with ErrQueueFull and the
+// HTTP layer answers 429 instead of letting latency grow without bound.
+package serve
+
+import (
+	"errors"
+	"time"
+)
+
+// Options configure a Registry and the per-model batching engines it
+// creates.
+type Options struct {
+	// MaxBatch is the largest number of requests coalesced into one forward
+	// pass. <= 0 selects 16.
+	MaxBatch int
+	// QueueDepth bounds each model's request queue; submissions beyond it
+	// fail fast with ErrQueueFull. <= 0 selects 256.
+	QueueDepth int
+	// FlushEvery is the batching flush window: pending requests are flushed
+	// when MaxBatch is reached or on the next tick, whichever comes first.
+	// 0 selects 2ms. Negative disables the timer entirely — flushes then
+	// happen only on batch size or explicit Engine.Tick, which is what the
+	// deterministic tests use.
+	FlushEvery time.Duration
+	// Threads is the worker count of each model engine's compute context
+	// (0 = GOMAXPROCS). Responses are bit-identical for every value.
+	Threads int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 16
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	if o.FlushEvery == 0 {
+		o.FlushEvery = 2 * time.Millisecond
+	}
+	return o
+}
+
+var (
+	// ErrQueueFull is the backpressure signal: the model's bounded request
+	// queue is at capacity. The HTTP layer maps it to 429.
+	ErrQueueFull = errors.New("serve: request queue full")
+	// ErrClosed reports a submission to an engine that has been shut down
+	// (or hot-swapped away). The HTTP layer maps it to 503.
+	ErrClosed = errors.New("serve: engine closed")
+)

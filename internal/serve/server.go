@@ -1,0 +1,245 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/attack"
+)
+
+// Server exposes a Registry over an HTTP JSON API:
+//
+//	POST /v1/predict              single or batch prediction
+//	GET  /v1/models               registered models and their metadata
+//	POST /v1/models/{name}:audit  defender-side distributional audit
+//	GET  /healthz                 liveness
+//	GET  /statsz                  serving counters
+type Server struct {
+	reg *Registry
+	// auditBounds are the default conv-index group bounds the audit
+	// endpoint partitions weights with (the adversary-side constant from
+	// the shared preset); requests may override them.
+	auditBounds []int
+	mux         *http.ServeMux
+	httpCount   int64 // total HTTP requests observed
+}
+
+// NewServer wraps reg. auditBounds may be nil (audit then uses a single
+// group unless the request supplies bounds).
+func NewServer(reg *Registry, auditBounds []int) *Server {
+	s := &Server{reg: reg, auditBounds: auditBounds, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	s.mux.HandleFunc("GET /v1/models", s.handleModels)
+	s.mux.HandleFunc("POST /v1/models/{nameop}", s.handleModelOp)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /statsz", s.handleStats)
+	return s
+}
+
+// Handler returns the root handler.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt64(&s.httpCount, 1)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+type predictRequest struct {
+	// Model names the registry entry to serve from.
+	Model string `json:"model"`
+	// Input is a single flattened C*H*W sample; Inputs is a batch. Exactly
+	// one must be set.
+	Input  []float64   `json:"input,omitempty"`
+	Inputs [][]float64 `json:"inputs,omitempty"`
+}
+
+type predictResponse struct {
+	Model       string       `json:"model"`
+	Digest      string       `json:"digest"`
+	Predictions []Prediction `json:"predictions"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req predictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if (req.Input == nil) == (req.Inputs == nil) {
+		httpError(w, http.StatusBadRequest, "exactly one of input/inputs must be set")
+		return
+	}
+	en, ok := s.reg.Get(req.Model)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown model %q", req.Model)
+		return
+	}
+	inputs := req.Inputs
+	if req.Input != nil {
+		inputs = [][]float64{req.Input}
+	}
+	if len(inputs) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	// Submit every sample independently so the engine is free to coalesce
+	// them with other requests in flight; the response is all-or-nothing.
+	preds := make([]Prediction, len(inputs))
+	errs := make([]error, len(inputs))
+	var wg sync.WaitGroup
+	for i, in := range inputs {
+		wg.Add(1)
+		go func(i int, in []float64) {
+			defer wg.Done()
+			preds[i], errs[i] = en.Predict(in)
+		}(i, in)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrQueueFull):
+				httpError(w, http.StatusTooManyRequests, "%v", err)
+			case errors.Is(err, ErrClosed):
+				httpError(w, http.StatusServiceUnavailable, "%v", err)
+			default:
+				httpError(w, http.StatusBadRequest, "%v", err)
+			}
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, predictResponse{
+		Model: en.Name, Digest: en.Digest, Predictions: preds,
+	})
+}
+
+type modelInfo struct {
+	Name       string  `json:"name"`
+	Digest     string  `json:"digest"`
+	Quantized  bool    `json:"quantized"`
+	Params     int     `json:"params"`
+	SizeBytes  int     `json:"size_bytes"`
+	RawBytes   int     `json:"raw_bytes"`
+	Ratio      float64 `json:"compression_ratio"`
+	InputShape []int   `json:"input_shape"`
+	Classes    int     `json:"classes"`
+}
+
+func entryInfo(en *Entry) modelInfo {
+	return modelInfo{
+		Name:       en.Name,
+		Digest:     en.Digest,
+		Quantized:  en.Quantized,
+		Params:     en.Params,
+		SizeBytes:  en.Size.TotalBytes(),
+		RawBytes:   en.Size.RawBytes,
+		Ratio:      en.Size.Ratio(),
+		InputShape: en.Model().InputShape,
+		Classes:    en.Model().Classes,
+	}
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	entries := s.reg.List()
+	infos := make([]modelInfo, len(entries))
+	for i, en := range entries {
+		infos[i] = entryInfo(en)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"models": infos})
+}
+
+type auditRequest struct {
+	// Bounds override the server's default group bounds; Threshold <= 0
+	// uses attack.DefaultDetectionThreshold.
+	Bounds    []int   `json:"bounds,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
+}
+
+type auditResponse struct {
+	Model      string       `json:"model"`
+	Digest     string       `json:"digest"`
+	Quantized  bool         `json:"quantized"`
+	Threshold  float64      `json:"threshold"`
+	Global     float64      `json:"global"`
+	PerGroup   []auditGroup `json:"per_group"`
+	Suspicious bool         `json:"suspicious"`
+	Verdict    string       `json:"verdict"`
+}
+
+type auditGroup struct {
+	Name  string  `json:"name"`
+	Score float64 `json:"score"`
+}
+
+func (s *Server) handleModelOp(w http.ResponseWriter, r *http.Request) {
+	nameop := r.PathValue("nameop")
+	name, op, ok := strings.Cut(nameop, ":")
+	if !ok || op != "audit" {
+		httpError(w, http.StatusNotFound, "unknown model operation %q (want {name}:audit)", nameop)
+		return
+	}
+	en, found := s.reg.Get(name)
+	if !found {
+		httpError(w, http.StatusNotFound, "unknown model %q", name)
+		return
+	}
+	var req auditRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+	}
+	bounds := req.Bounds
+	if bounds == nil {
+		bounds = s.auditBounds
+	}
+	// The same detection pass dacextract -audit runs offline: weight reads
+	// only, so it is safe alongside in-flight forward passes.
+	rep := attack.AuditModel(en.Model(), bounds, req.Threshold)
+	resp := auditResponse{
+		Model:      en.Name,
+		Digest:     en.Digest,
+		Quantized:  rep.Quantized,
+		Threshold:  rep.Threshold,
+		Global:     rep.Global,
+		Suspicious: rep.Suspicious,
+		Verdict:    "no distributional anomaly detected",
+	}
+	if rep.Suspicious {
+		resp.Verdict = "SUSPICIOUS: weight distribution is far from benign-Gaussian"
+	}
+	for _, g := range rep.PerGroup {
+		resp.PerGroup = append(resp.PerGroup, auditGroup{Name: g.Name, Score: g.Score})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"models": len(s.reg.List()),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"http_requests": atomic.LoadInt64(&s.httpCount),
+		"models":        s.reg.Stats(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

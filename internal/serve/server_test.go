@@ -1,0 +1,331 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+)
+
+// httpServer wires a registry with a real flush-window timer (the
+// production configuration) behind httptest. The tiny window keeps single
+// requests fast; correctness never depends on when flushes land.
+func httpServer(t *testing.T, opts Options) (*Registry, *httptest.Server) {
+	t.Helper()
+	r := NewRegistry(opts)
+	ts := httptest.NewServer(NewServer(r, core.CIFARRelease().GroupBounds).Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		r.Close()
+	})
+	return r, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (int, map[string]json.RawMessage) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode %s response: %v", url, err)
+	}
+	return resp.StatusCode, out
+}
+
+func getJSON(t *testing.T, url string) (int, map[string]json.RawMessage) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode %s response: %v", url, err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestHTTPPredictSingleAndBatch(t *testing.T) {
+	path := writeReleased(t, 60, true)
+	opts := Options{MaxBatch: 4, QueueDepth: 64, FlushEvery: 200 * time.Microsecond, Threads: 2}
+	r, ts := httpServer(t, opts)
+	if _, err := r.LoadFile("demo", path); err != nil {
+		t.Fatal(err)
+	}
+	ref := referenceModel(t, path)
+	inputs := testInputs(5, ref.InputLen(), 61)
+	want, err := ref.EvalBatch(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Single.
+	status, body := postJSON(t, ts.URL+"/v1/predict", predictRequest{Model: "demo", Input: inputs[0]})
+	if status != http.StatusOK {
+		t.Fatalf("single predict status %d: %s", status, body["error"])
+	}
+	var preds []Prediction
+	if err := json.Unmarshal(body["predictions"], &preds); err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 1 {
+		t.Fatalf("got %d predictions, want 1", len(preds))
+	}
+	for j, v := range preds[0].Logits {
+		if v != want[0][j] {
+			t.Fatalf("logit %d: served %v != offline %v", j, v, want[0][j])
+		}
+	}
+
+	// Batch.
+	status, body = postJSON(t, ts.URL+"/v1/predict", predictRequest{Model: "demo", Inputs: inputs})
+	if status != http.StatusOK {
+		t.Fatalf("batch predict status %d: %s", status, body["error"])
+	}
+	if err := json.Unmarshal(body["predictions"], &preds); err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != len(inputs) {
+		t.Fatalf("got %d predictions, want %d", len(preds), len(inputs))
+	}
+	for i := range preds {
+		for j, v := range preds[i].Logits {
+			if v != want[i][j] {
+				t.Fatalf("sample %d logit %d: served %v != offline %v", i, j, v, want[i][j])
+			}
+		}
+	}
+}
+
+func TestHTTPPredictErrors(t *testing.T) {
+	path := writeReleased(t, 62, false)
+	opts := Options{MaxBatch: 4, QueueDepth: 64, FlushEvery: 200 * time.Microsecond, Threads: 1}
+	r, ts := httpServer(t, opts)
+	en, err := r.LoadFile("demo", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := en.Model().InputLen()
+
+	for _, tc := range []struct {
+		name   string
+		body   any
+		status int
+	}{
+		{"unknown model", predictRequest{Model: "nope", Input: make([]float64, u)}, http.StatusNotFound},
+		{"no input", predictRequest{Model: "demo"}, http.StatusBadRequest},
+		{"both inputs", predictRequest{Model: "demo", Input: make([]float64, u), Inputs: [][]float64{make([]float64, u)}}, http.StatusBadRequest},
+		{"bad length", predictRequest{Model: "demo", Input: make([]float64, u-1)}, http.StatusBadRequest},
+		{"empty batch", predictRequest{Model: "demo", Inputs: [][]float64{}}, http.StatusBadRequest},
+	} {
+		if status, body := postJSON(t, ts.URL+"/v1/predict", tc.body); status != tc.status {
+			t.Fatalf("%s: status %d, want %d (%s)", tc.name, status, tc.status, body["error"])
+		}
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %d", resp.StatusCode)
+	}
+}
+
+// A stalled engine with a full queue must surface as 429 over HTTP.
+func TestHTTPPredictBackpressure429(t *testing.T) {
+	path := writeReleased(t, 63, false)
+	r, ts := httpServer(t, manualOpts(2, 2))
+	en, err := r.LoadFile("demo", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := en.Model().InputLen()
+
+	inFlush := make(chan struct{})
+	release := make(chan struct{})
+	var hooked sync.Once
+	en.engine.beforeFlush = func(int) {
+		hooked.Do(func() {
+			close(inFlush)
+			<-release
+		})
+	}
+	var wg sync.WaitGroup
+	stalled := testInputs(4, u, 64) // 2 stall in the flush, 2 fill the queue
+	for _, in := range stalled {
+		wg.Add(1)
+		go func(in []float64) {
+			defer wg.Done()
+			en.Predict(in)
+		}(in)
+	}
+	<-inFlush
+	for en.engine.QueueLen() < 2 {
+		runtime.Gosched()
+	}
+
+	status, body := postJSON(t, ts.URL+"/v1/predict", predictRequest{Model: "demo", Input: make([]float64, u)})
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (%s)", status, body["error"])
+	}
+
+	close(release)
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+			en.Tick()
+		}
+	}
+}
+
+func TestHTTPModelsAndHealthAndStats(t *testing.T) {
+	path := writeReleased(t, 65, true)
+	opts := Options{MaxBatch: 4, QueueDepth: 16, FlushEvery: 200 * time.Microsecond, Threads: 1}
+	r, ts := httpServer(t, opts)
+	en, err := r.LoadFile("demo", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	status, body := getJSON(t, ts.URL+"/v1/models")
+	if status != http.StatusOK {
+		t.Fatalf("models status %d", status)
+	}
+	var infos []modelInfo
+	if err := json.Unmarshal(body["models"], &infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Name != "demo" || infos[0].Digest != en.Digest || !infos[0].Quantized {
+		t.Fatalf("models = %+v", infos)
+	}
+
+	status, body = getJSON(t, ts.URL+"/healthz")
+	if status != http.StatusOK || string(body["status"]) != `"ok"` {
+		t.Fatalf("healthz status %d body %v", status, body)
+	}
+
+	// Serve one request so the stats have content.
+	if status, body := postJSON(t, ts.URL+"/v1/predict", predictRequest{Model: "demo", Input: testInputs(1, en.Model().InputLen(), 66)[0]}); status != http.StatusOK {
+		t.Fatalf("predict status %d (%s)", status, body["error"])
+	}
+	status, body = getJSON(t, ts.URL+"/statsz")
+	if status != http.StatusOK {
+		t.Fatalf("statsz status %d", status)
+	}
+	var perModel map[string]Snapshot
+	if err := json.Unmarshal(body["models"], &perModel); err != nil {
+		t.Fatal(err)
+	}
+	if perModel["demo"].Served != 1 {
+		t.Fatalf("statsz served = %d, want 1", perModel["demo"].Served)
+	}
+}
+
+// The server-side audit must reproduce the offline dacextract -audit
+// verdict on the same released file, score for score.
+func TestHTTPAuditMatchesOfflineVerdict(t *testing.T) {
+	for _, quantized := range []bool{false, true} {
+		path := writeReleased(t, 67, quantized)
+		opts := Options{MaxBatch: 4, QueueDepth: 16, FlushEvery: 200 * time.Microsecond, Threads: 1}
+		r, ts := httpServer(t, opts)
+		en, err := r.LoadFile("demo", path)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		bounds := core.CIFARRelease().GroupBounds
+		offline := attack.AuditModel(referenceModel(t, path), bounds, 0)
+
+		resp, err := http.Post(ts.URL+"/v1/models/demo:audit", "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got auditResponse
+		if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("audit status %d", resp.StatusCode)
+		}
+
+		if got.Suspicious != offline.Suspicious {
+			t.Fatalf("quantized=%v: served verdict %v != offline %v", quantized, got.Suspicious, offline.Suspicious)
+		}
+		if got.Quantized != offline.Quantized || got.Threshold != offline.Threshold || got.Global != offline.Global {
+			t.Fatalf("quantized=%v: served report %+v != offline %+v", quantized, got, offline)
+		}
+		if len(got.PerGroup) != len(offline.PerGroup) {
+			t.Fatalf("per-group count %d != %d", len(got.PerGroup), len(offline.PerGroup))
+		}
+		for i, g := range got.PerGroup {
+			if g.Name != offline.PerGroup[i].Name || g.Score != offline.PerGroup[i].Score {
+				t.Fatalf("group %d: served %+v != offline %+v", i, g, offline.PerGroup[i])
+			}
+		}
+		if got.Digest != en.Digest {
+			t.Fatal("audit digest mismatch")
+		}
+
+		// Unknown model and unknown operation 404.
+		if resp, err := http.Post(ts.URL+"/v1/models/nope:audit", "application/json", nil); err != nil {
+			t.Fatal(err)
+		} else {
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusNotFound {
+				t.Fatalf("unknown model audit status %d", resp.StatusCode)
+			}
+		}
+		if resp, err := http.Post(ts.URL+"/v1/models/demo:explode", "application/json", nil); err != nil {
+			t.Fatal(err)
+		} else {
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusNotFound {
+				t.Fatalf("unknown op status %d", resp.StatusCode)
+			}
+		}
+		ts.Close()
+		r.Close()
+	}
+}
+
+// After registry shutdown (the drain step of graceful shutdown), predicts
+// answer 503.
+func TestHTTPPredictAfterShutdown503(t *testing.T) {
+	path := writeReleased(t, 68, false)
+	opts := Options{MaxBatch: 4, QueueDepth: 16, FlushEvery: 200 * time.Microsecond, Threads: 1}
+	r, ts := httpServer(t, opts)
+	en, err := r.LoadFile("demo", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	status, body := postJSON(t, ts.URL+"/v1/predict", predictRequest{Model: "demo", Input: make([]float64, en.Model().InputLen())})
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 (%s)", status, body["error"])
+	}
+}

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// EngineStats tracks one model engine's serving counters. All methods are
+// safe for concurrent use; reads get a consistent Snapshot.
+type EngineStats struct {
+	mu        sync.Mutex
+	accepted  int64 // requests that made it into the queue
+	served    int64 // requests answered with a prediction
+	rejected  int64 // requests fast-failed with ErrQueueFull
+	errored   int64 // requests answered with a model error
+	batches   int64
+	batchHist []int64 // batchHist[k] counts batches of size k+1
+	totalLat  time.Duration
+	maxLat    time.Duration
+}
+
+func newEngineStats(maxBatch int) *EngineStats {
+	return &EngineStats{batchHist: make([]int64, maxBatch)}
+}
+
+func (s *EngineStats) recordAccepted() {
+	s.mu.Lock()
+	s.accepted++
+	s.mu.Unlock()
+}
+
+func (s *EngineStats) recordRejected() {
+	s.mu.Lock()
+	s.rejected++
+	s.mu.Unlock()
+}
+
+func (s *EngineStats) recordBatch(size int, lat time.Duration) {
+	s.mu.Lock()
+	s.batches++
+	s.served += int64(size)
+	if size >= 1 && size <= len(s.batchHist) {
+		s.batchHist[size-1]++
+	}
+	s.totalLat += lat
+	if lat > s.maxLat {
+		s.maxLat = lat
+	}
+	s.mu.Unlock()
+}
+
+func (s *EngineStats) recordError(size int) {
+	s.mu.Lock()
+	s.errored += int64(size)
+	s.mu.Unlock()
+}
+
+// Snapshot is the JSON form of one engine's counters.
+type Snapshot struct {
+	// Accepted counts requests that entered the queue; Served of those were
+	// answered with predictions, Errored with model errors. Rejected counts
+	// backpressure fast-failures (429s).
+	Accepted int64 `json:"accepted"`
+	Served   int64 `json:"served"`
+	Errored  int64 `json:"errored,omitempty"`
+	Rejected int64 `json:"rejected"`
+	// Batches is the number of forward passes; BatchHist maps batch size to
+	// how many passes ran at that size (zero-count sizes omitted).
+	Batches   int64         `json:"batches"`
+	BatchHist map[int]int64 `json:"batch_hist,omitempty"`
+	MeanBatch float64       `json:"mean_batch"`
+	// QueueDepth is the queue length at snapshot time.
+	QueueDepth int `json:"queue_depth"`
+	// MeanLatencyMS and MaxLatencyMS describe per-batch forward latency.
+	MeanLatencyMS float64 `json:"mean_latency_ms"`
+	MaxLatencyMS  float64 `json:"max_latency_ms"`
+}
+
+func (s *EngineStats) snapshot(queueDepth int) Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := Snapshot{
+		Accepted:   s.accepted,
+		Served:     s.served,
+		Errored:    s.errored,
+		Rejected:   s.rejected,
+		Batches:    s.batches,
+		QueueDepth: queueDepth,
+	}
+	for i, n := range s.batchHist {
+		if n > 0 {
+			if snap.BatchHist == nil {
+				snap.BatchHist = make(map[int]int64)
+			}
+			snap.BatchHist[i+1] = n
+		}
+	}
+	if s.batches > 0 {
+		snap.MeanBatch = float64(s.served+s.errored) / float64(s.batches)
+		snap.MeanLatencyMS = float64(s.totalLat.Microseconds()) / float64(s.batches) / 1e3
+		snap.MaxLatencyMS = float64(s.maxLat.Microseconds()) / 1e3
+	}
+	return snap
+}
