@@ -12,7 +12,7 @@ race:
 
 # Fast race gate over the concurrent packages only.
 race-fast:
-	go test -race ./internal/compute/ ./internal/nn/ ./internal/train/ ./internal/serve/
+	go test -race ./internal/compute/ ./internal/nn/ ./internal/train/ ./internal/serve/ ./internal/obs/
 
 vet:
 	go vet ./...
@@ -29,4 +29,9 @@ serve-bench:
 	go test ./internal/serve/ -run '^TestEmitServeBench$$' -count=1 -v -args -emit-bench=$(CURDIR)/BENCH_serve.json
 	go test ./internal/serve/ -run '^$$' -bench ServePredict
 
-.PHONY: check race race-fast vet bench serve-bench
+# Observability overhead guard: instrumented-vs-uninstrumented forward pass
+# written to BENCH_obs.json; fails if enabling obs costs more than 2%.
+obs-bench:
+	go test ./internal/obs/ -run '^TestEmitObsBench$$' -count=1 -v -args -emit-bench=$(CURDIR)/BENCH_obs.json
+
+.PHONY: check race race-fast vet bench serve-bench obs-bench

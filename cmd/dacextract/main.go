@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/img"
 	"repro/internal/modelio"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -38,8 +39,17 @@ func main() {
 	ascii := flag.Bool("ascii", false, "also print ASCII previews of the first reconstructions")
 	audit := flag.Bool("audit", false, "defender mode: run the distributional audit instead of extracting")
 	threads := flag.Int("threads", 0, "worker threads for model forward passes (0 = all cores)")
+	traceOut := flag.String("trace-out", "", "write a phase-span timing report to this file at exit (\"-\" for stderr)")
 	flag.Parse()
 
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		obs.Enable(true)
+		tracer = obs.NewTracer()
+		defer writeTrace(*traceOut, tracer)
+	}
+
+	sp := tracer.Span("extract/load")
 	rm, err := modelio.Load(*modelPath)
 	if err != nil {
 		fatal(err)
@@ -49,6 +59,7 @@ func main() {
 		fatal(err)
 	}
 	m.SetThreads(*threads)
+	sp.End()
 
 	gb, err := parseInts(*bounds)
 	if err != nil {
@@ -87,8 +98,11 @@ func main() {
 		pg.Images = append(pg.Images, img.New(c, h, w)) // placeholders for count
 	}
 	opt := attack.DecodeOptions{TargetMean: *mean, TargetStd: *std}
+	sp = tracer.Span("extract/decode")
 	recon := attack.DecodeGroup(pg, encodingGroup, [3]int{c, h, w}, opt)
+	sp.End()
 
+	sp = tracer.Span("extract/save")
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
 	}
@@ -98,6 +112,7 @@ func main() {
 			fatal(err)
 		}
 	}
+	sp.End()
 	fmt.Printf("extracted %d images to %s\n", len(recon), *outDir)
 
 	if *ascii {
@@ -178,6 +193,22 @@ func clampAll(images []*img.Image) []*img.Image {
 		out[i] = im.Clone().Clamp()
 	}
 	return out
+}
+
+// writeTrace renders the span-tree timing report to path ("-" = stderr).
+func writeTrace(path string, tr *obs.Tracer) {
+	if path == "-" {
+		tr.WriteReport(os.Stderr)
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dacextract: trace-out: %v\n", err)
+		return
+	}
+	defer f.Close()
+	tr.WriteReport(f)
+	fmt.Fprintf(os.Stderr, "wrote phase trace to %s\n", path)
 }
 
 func fatal(err error) {

@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/modelio"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -30,7 +31,15 @@ func main() {
 	n := flag.Int("n", 800, "dataset size")
 	seed := flag.Int64("seed", 7, "seed")
 	threads := flag.Int("threads", 0, "worker threads per model pass (0 = all cores; results identical for any value)")
+	traceOut := flag.String("trace-out", "", "write a phase-span timing report to this file at exit (\"-\" for stderr)")
 	flag.Parse()
+
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		obs.Enable(true)
+		tracer = obs.NewTracer()
+		defer writeTrace(*traceOut, tracer)
+	}
 
 	preset := core.CIFARRelease()
 	data := dataset.SyntheticCIFAR(preset.DataConfig(*n, *seed))
@@ -44,7 +53,7 @@ func main() {
 		Quant: core.QuantTargetCorrelated, Bits: *bits,
 		FineTuneEpochs: 3, KeepRegDuringFineTune: true,
 		Seed: *seed, Log: os.Stderr,
-		Threads: *threads,
+		Threads: *threads, Trace: tracer,
 	})
 
 	rm, err := modelio.Export(res.Model, arch, res.Applied)
@@ -72,6 +81,22 @@ func main() {
 		}
 		fmt.Printf("wrote %d ground-truth targets to %s\n", res.Plan.TotalImages(), *truthDir)
 	}
+}
+
+// writeTrace renders the span-tree timing report to path ("-" = stderr).
+func writeTrace(path string, tr *obs.Tracer) {
+	if path == "-" {
+		tr.WriteReport(os.Stderr)
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dacrelease: trace-out: %v\n", err)
+		return
+	}
+	defer f.Close()
+	tr.WriteReport(f)
+	fmt.Fprintf(os.Stderr, "wrote phase trace to %s\n", path)
 }
 
 func fatal(err error) {

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -22,6 +23,7 @@ func main() {
 	verbose := flag.Bool("v", false, "log per-run training progress")
 	outDir := flag.String("outdir", "", "directory for image artifacts (fig5)")
 	threads := flag.Int("threads", 0, "worker threads per model pass (0 = all cores; results identical for any value)")
+	traceOut := flag.String("trace-out", "", "write a phase-span timing report to this file at exit (\"-\" for stderr)")
 	flag.Parse()
 
 	args := flag.Args()
@@ -35,6 +37,11 @@ func main() {
 	env.Threads = *threads
 	if *verbose {
 		env.Log = os.Stderr
+	}
+	if *traceOut != "" {
+		obs.Enable(true)
+		env.Trace = obs.NewTracer()
+		defer writeTrace(*traceOut, env.Trace)
 	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -74,6 +81,22 @@ func main() {
 		fmt.Printf("### %s\n\n", name)
 		f()
 	}
+}
+
+// writeTrace renders the span-tree timing report to path ("-" = stderr).
+func writeTrace(path string, tr *obs.Tracer) {
+	if path == "-" {
+		tr.WriteReport(os.Stderr)
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dacrepro: trace-out: %v\n", err)
+		return
+	}
+	defer f.Close()
+	tr.WriteReport(f)
+	fmt.Fprintf(os.Stderr, "wrote phase trace to %s\n", path)
 }
 
 func runAblations(env *experiments.Env) {

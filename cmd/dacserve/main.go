@@ -8,6 +8,10 @@
 //
 //	curl -d '{"model":"prod","input":[...]}' localhost:8080/v1/predict
 //	curl -X POST localhost:8080/v1/models/prod:audit
+//	curl localhost:8080/metricsz        # Prometheus text exposition
+//
+// -pprof additionally exposes net/http/pprof under /debug/pprof/, and -obs
+// turns on the deep runtime instrumentation (compute pool timings).
 //
 // Shutdown on SIGINT/SIGTERM is graceful: the listener stops accepting,
 // in-flight requests drain through final batched passes, then the process
@@ -20,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -27,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -54,6 +60,8 @@ func main() {
 	flush := flag.Duration("flush", 2*time.Millisecond, "batching flush window")
 	threads := flag.Int("threads", 0, "worker threads per model engine (0 = all cores)")
 	bounds := flag.String("bounds", preset.BoundsCSV(), "default conv-index group bounds for the audit endpoint")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (opt-in)")
+	obsOn := flag.Bool("obs", false, "enable deep runtime instrumentation (compute pool timings) in /metricsz")
 	flag.Parse()
 	if len(models) == 0 {
 		fatal(errors.New("at least one -model name=path is required"))
@@ -82,7 +90,18 @@ func main() {
 			en.Name, kind, en.Params, en.Size.TotalBytes(), en.Digest[:12])
 	}
 
-	srv := &http.Server{Addr: *listen, Handler: serve.NewServer(reg, gb).Handler()}
+	obs.Enable(*obsOn)
+	mux := http.NewServeMux()
+	mux.Handle("/", serve.NewServer(reg, gb).Handler())
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Printf("pprof enabled at %s/debug/pprof/\n", *listen)
+	}
+	srv := &http.Server{Addr: *listen, Handler: mux}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("serving %d model(s) on %s\n", len(models), *listen)

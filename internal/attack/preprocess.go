@@ -8,6 +8,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/img"
 	"repro/internal/nn"
+	"repro/internal/obs"
 )
 
 // Window is a per-image pixel-std interval (lo, hi), the paper's
@@ -117,6 +118,13 @@ func BuildPlan(d *dataset.Dataset, windowLen float64, groups []nn.LayerGroup, la
 			}
 		}
 		plan.Groups = append(plan.Groups, pg)
+	}
+	if obs.Enabled() {
+		obs.Default.Counter("attack_plans_total").Inc()
+		obs.Default.Gauge("attack_window_lo").Set(w.Lo)
+		obs.Default.Gauge("attack_window_hi").Set(w.Hi)
+		obs.Default.Gauge("attack_candidates").Set(float64(len(cand)))
+		obs.Default.Gauge("attack_images_assigned").Set(float64(plan.TotalImages()))
 	}
 	return plan
 }

@@ -24,9 +24,13 @@
 package compute
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Ctx is an execution context: a fixed-size worker pool plus one scratch
@@ -42,6 +46,42 @@ type Ctx struct {
 	// turns an accidental second driver (a silent data race over arenas and
 	// layer state) into an immediate panic at the entry point.
 	driving int32
+
+	m *ctxMetrics
+}
+
+// ctxMetrics are the pool's observability counters, resolved once at
+// construction from the shared obs registry (contexts with equal worker
+// indices share series — the counters are process-wide totals). Updates
+// happen only when obs.Enabled(), so the disabled cost of a dispatch is a
+// single atomic load.
+type ctxMetrics struct {
+	// dispatches counts For/ForChunks calls; items counts the loop
+	// iterations (For) or elements (ForChunks) they distributed.
+	dispatches *obs.Counter
+	items      *obs.Counter
+	// busy[w] accumulates wall time worker w spent running caller code —
+	// the utilization breakdown per worker index.
+	busy []*obs.Counter
+	// queueWait accumulates time between a task being sent and a worker
+	// picking it up; tailWait is the driver's idle time waiting for the
+	// slowest worker after finishing its own share (load imbalance).
+	queueWait *obs.Counter
+	tailWait  *obs.Counter
+}
+
+func newCtxMetrics(threads int) *ctxMetrics {
+	m := &ctxMetrics{
+		dispatches: obs.Default.Counter("compute_dispatches_total"),
+		items:      obs.Default.Counter("compute_items_total"),
+		queueWait:  obs.Default.Counter("compute_queue_wait_ns_total"),
+		tailWait:   obs.Default.Counter("compute_tail_wait_ns_total"),
+		busy:       make([]*obs.Counter, threads),
+	}
+	for w := range m.busy {
+		m.busy[w] = obs.Default.Counter(fmt.Sprintf(`compute_worker_busy_ns_total{worker="%d"}`, w))
+	}
+	return m
 }
 
 // task asks the pool to run fn(worker). The worker index rides along with
@@ -53,6 +93,10 @@ type task struct {
 	fn     func(worker int)
 	worker int
 	wg     *sync.WaitGroup
+	// sent/queueWait, set only while obs is enabled, let the receiving
+	// worker account how long the task sat in the channel.
+	sent      time.Time
+	queueWait *obs.Counter
 }
 
 // New creates a context with the given worker count. threads <= 0 selects
@@ -62,7 +106,7 @@ func New(threads int) *Ctx {
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
 	}
-	c := &Ctx{threads: threads, arenas: make([]*Arena, threads)}
+	c := &Ctx{threads: threads, arenas: make([]*Arena, threads), m: newCtxMetrics(threads)}
 	for i := range c.arenas {
 		c.arenas[i] = &Arena{}
 	}
@@ -75,6 +119,9 @@ func New(threads int) *Ctx {
 		for w := 1; w < threads; w++ {
 			go func() {
 				for t := range tasks {
+					if t.queueWait != nil {
+						t.queueWait.Add(int64(time.Since(t.sent)))
+					}
 					t.fn(t.worker)
 					t.wg.Done()
 				}
@@ -139,14 +186,33 @@ func (c *Ctx) acquire() {
 func (c *Ctx) release() { atomic.StoreInt32(&c.driving, 0) }
 
 // dispatch runs fn once per worker (including the caller as worker 0) and
-// waits for all of them.
-func (c *Ctx) dispatch(fn func(worker int)) {
+// waits for all of them. With timed set (obs enabled), each worker's busy
+// time, the tasks' queue wait, and the driver's tail wait are recorded.
+func (c *Ctx) dispatch(fn func(worker int), timed bool) {
+	work := fn
+	if timed {
+		work = func(worker int) {
+			t0 := time.Now()
+			fn(worker)
+			c.m.busy[worker].Add(int64(time.Since(t0)))
+		}
+	}
 	var wg sync.WaitGroup
 	wg.Add(c.threads - 1)
 	for w := 1; w < c.threads; w++ {
-		c.tasks <- task{fn: fn, worker: w, wg: &wg}
+		t := task{fn: work, worker: w, wg: &wg}
+		if timed {
+			t.sent, t.queueWait = time.Now(), c.m.queueWait
+		}
+		c.tasks <- t
 	}
-	fn(0)
+	work(0)
+	if timed {
+		t0 := time.Now()
+		wg.Wait()
+		c.m.tailWait.Add(int64(time.Since(t0)))
+		return
+	}
 	wg.Wait()
 }
 
@@ -161,11 +227,23 @@ func (c *Ctx) For(n int, fn func(i int, a *Arena)) {
 	}
 	c.acquire()
 	defer c.release()
+	timed := obs.Enabled()
+	if timed {
+		c.m.dispatches.Inc()
+		c.m.items.Add(int64(n))
+	}
 	if c.threads == 1 || n == 1 {
+		var t0 time.Time
+		if timed {
+			t0 = time.Now()
+		}
 		a := c.arenas[0]
 		for i := 0; i < n; i++ {
 			a.Reset()
 			fn(i, a)
+		}
+		if timed {
+			c.m.busy[0].Add(int64(time.Since(t0)))
 		}
 		return
 	}
@@ -180,7 +258,7 @@ func (c *Ctx) For(n int, fn func(i int, a *Arena)) {
 			a.Reset()
 			fn(i, a)
 		}
-	})
+	}, timed)
 }
 
 // ForChunks splits [0, n) into one contiguous chunk per worker and runs
@@ -194,12 +272,24 @@ func (c *Ctx) ForChunks(n int, fn func(lo, hi int)) {
 	}
 	c.acquire()
 	defer c.release()
+	timed := obs.Enabled()
+	if timed {
+		c.m.dispatches.Inc()
+		c.m.items.Add(int64(n))
+	}
 	chunks := c.threads
 	if chunks > n {
 		chunks = n
 	}
 	if chunks == 1 {
+		var t0 time.Time
+		if timed {
+			t0 = time.Now()
+		}
 		fn(0, n)
+		if timed {
+			c.m.busy[0].Add(int64(time.Since(t0)))
+		}
 		return
 	}
 	c.dispatch(func(worker int) {
@@ -211,5 +301,5 @@ func (c *Ctx) ForChunks(n int, fn func(lo, hi int)) {
 		if lo < hi {
 			fn(lo, hi)
 		}
-	})
+	}, timed)
 }

@@ -1,0 +1,67 @@
+package compute
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// With obs enabled, every dispatch must account its calls, items, and
+// worker busy time; disabled, the counters must not move.
+func TestCtxMetricsAccounting(t *testing.T) {
+	obs.Default.Reset()
+	obs.Enable(true)
+	defer obs.Enable(false)
+
+	c := New(3)
+	defer c.Close()
+	c.For(10, func(i int, _ *Arena) {})
+	c.ForChunks(100, func(lo, hi int) {})
+
+	snap := obs.Default.Snapshot()
+	if got := snap.Counters["compute_dispatches_total"]; got != 2 {
+		t.Fatalf("dispatches = %d, want 2", got)
+	}
+	if got := snap.Counters["compute_items_total"]; got != 110 {
+		t.Fatalf("items = %d, want 110", got)
+	}
+	var busy int64
+	for name, v := range snap.Counters {
+		if len(name) > 7 && name[:7] == "compute" && v < 0 {
+			t.Fatalf("negative counter %s = %d", name, v)
+		}
+	}
+	busy = snap.Counters[`compute_worker_busy_ns_total{worker="0"}`] +
+		snap.Counters[`compute_worker_busy_ns_total{worker="1"}`] +
+		snap.Counters[`compute_worker_busy_ns_total{worker="2"}`]
+	if busy <= 0 {
+		t.Fatalf("no worker busy time recorded: %+v", snap.Counters)
+	}
+
+	obs.Enable(false)
+	before := obs.Default.Snapshot().Counters["compute_dispatches_total"]
+	c.For(10, func(i int, _ *Arena) {})
+	if after := obs.Default.Snapshot().Counters["compute_dispatches_total"]; after != before {
+		t.Fatalf("disabled dispatch still counted: %d -> %d", before, after)
+	}
+}
+
+// The serial context must account its inline loops under worker 0.
+func TestCtxMetricsSerialPath(t *testing.T) {
+	obs.Default.Reset()
+	obs.Enable(true)
+	defer obs.Enable(false)
+
+	c := New(1)
+	defer c.Close()
+	c.For(4, func(i int, _ *Arena) {})
+	c.ForChunks(4, func(lo, hi int) {})
+
+	snap := obs.Default.Snapshot()
+	if got := snap.Counters["compute_items_total"]; got != 8 {
+		t.Fatalf("items = %d, want 8", got)
+	}
+	if snap.Counters[`compute_worker_busy_ns_total{worker="0"}`] <= 0 {
+		t.Fatal("serial path did not record worker-0 busy time")
+	}
+}

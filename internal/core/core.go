@@ -17,6 +17,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/img"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/quantize"
 	"repro/internal/train"
 )
@@ -124,8 +125,13 @@ type Config struct {
 	// default one.
 	KeepRegDuringFineTune bool
 
-	// Log, when non-nil, receives progress lines.
+	// Log, when non-nil, receives progress lines — including the trainer's
+	// per-epoch lines, formatted by train.LogTo.
 	Log io.Writer
+	// Trace, when non-nil, receives phase spans for the whole pipeline
+	// (core/preprocess, core/train, core/quantize, core/finetune,
+	// core/extract) plus the trainer's per-epoch breakdown.
+	Trace *obs.Tracer
 }
 
 // Result captures everything the evaluation tables need from one run.
@@ -214,6 +220,7 @@ func Run(cfg Config) *Result {
 	}
 	var reg *attack.CorrelationReg
 	if malicious {
+		sp := cfg.Trace.Span("core/preprocess")
 		if cfg.WindowLen > 0 {
 			res.Plan = attack.BuildPlan(trainSet, cfg.WindowLen, groups, lambdas, cfg.Seed)
 		} else {
@@ -221,6 +228,7 @@ func Run(cfg Config) *Result {
 		}
 		reg = attack.NewLayerwiseReg(groups, res.Plan.Lambdas(), res.Plan.Secrets())
 		res.Reg = reg
+		sp.End()
 		logf("plan: %d images in std window (%.0f, %.0f)", res.Plan.TotalImages(), res.Plan.Window.Lo, res.Plan.Window.Hi)
 	}
 
@@ -230,17 +238,23 @@ func Run(cfg Config) *Result {
 		Optimizer: train.NewSGD(cfg.LR, cfg.Momentum, 0),
 		Schedule:  train.StepDecay(cfg.LR, max(cfg.Epochs/3, 1), 0.3),
 		Seed:      cfg.Seed, ClipNorm: cfg.ClipNorm,
-		Threads: cfg.Threads,
+		Threads: cfg.Threads, Trace: cfg.Trace,
+	}
+	if cfg.Log != nil {
+		tcfg.Log = train.LogTo(cfg.Log)
 	}
 	if reg != nil {
 		tcfg.Reg = reg
 	}
+	sp := cfg.Trace.Span("core/train")
 	train.Run(m, x, y, tcfg)
+	sp.End()
 	res.PreQuantTestAcc = m.Accuracy(tx, ty, 64)
 	logf("trained: test acc %.2f%%", 100*res.PreQuantTestAcc)
 
 	// Step 3: quantization + fine-tuning.
 	levels := 1 << cfg.Bits
+	sp = cfg.Trace.Span("core/quantize")
 	switch cfg.Quant {
 	case QuantNone:
 		// Released at full precision.
@@ -256,6 +270,7 @@ func Run(cfg Config) *Result {
 	default:
 		panic(fmt.Sprintf("core: unknown quant mode %v", cfg.Quant))
 	}
+	sp.End()
 	if res.Applied != nil && cfg.FineTuneEpochs > 0 {
 		ft := quantize.FineTuneConfig{
 			Epochs: cfg.FineTuneEpochs, BatchSize: cfg.BatchSize,
@@ -267,7 +282,9 @@ func Run(cfg Config) *Result {
 		if cfg.KeepRegDuringFineTune && reg != nil {
 			ft.Reg = reg
 		}
+		sp = cfg.Trace.Span("core/finetune")
 		quantize.FineTune(m, res.Applied, x, y, ft)
+		sp.End()
 	}
 
 	// Released-model metrics.
@@ -281,6 +298,8 @@ func Run(cfg Config) *Result {
 	// whatever the std window selected for (or the domain-typical ~50 for
 	// the vanilla uniform attack).
 	if res.Plan != nil {
+		sp = cfg.Trace.Span("core/extract")
+		defer sp.End()
 		opt := attack.DecodeOptions{TargetMean: cfg.DecodeMean, TargetStd: cfg.DecodeStd}
 		if opt.TargetMean == 0 {
 			opt.TargetMean = 128

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/nn"
+	"repro/internal/obs"
 )
 
 // Env carries the shared experiment context.
@@ -32,6 +33,9 @@ type Env struct {
 	// (0 = runtime.GOMAXPROCS, 1 = serial). Results are bit-identical
 	// for every value, so experiment outputs never depend on it.
 	Threads int
+	// Trace, when non-nil, receives phase spans from every core.Run the
+	// experiments execute (see core.Config.Trace).
+	Trace *obs.Tracer
 
 	cache map[string]*core.Result
 	data  map[string]*dataset.Dataset
@@ -61,6 +65,7 @@ func (e *Env) run(key string, cfg core.Config) *core.Result {
 		fmt.Fprintf(e.Log, "== run %s\n", key)
 		cfg.Log = e.Log
 	}
+	cfg.Trace = e.Trace
 	r := core.Run(cfg)
 	e.cache[key] = r
 	return r

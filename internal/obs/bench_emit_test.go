@@ -1,0 +1,106 @@
+// Overhead guard for the observability layer: the instrumented forward
+// pass (obs enabled) must cost at most a few percent over the same pass
+// with obs disabled, and disabled instrumentation must be free in
+// practice. Lives in package obs_test so it can drive the real nn/compute
+// stack (obs_test → nn → compute → obs is cycle-free).
+package obs_test
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/tensor"
+)
+
+// emitBench, when set to a path, makes TestEmitObsBench measure the
+// instrumentation overhead and write the numbers there as JSON. Wired to
+// `make obs-bench`; empty (the default) skips the test so the regular
+// suite stays fast and timing-free.
+var emitBench = flag.String("emit-bench", "", "write instrumentation overhead numbers (BENCH_obs.json) to this path")
+
+// maxEnabledOverheadPct is the guard: enabling the full metrics + span
+// instrumentation may cost at most this much on a batched forward pass.
+const maxEnabledOverheadPct = 2.0
+
+func benchModel() (*nn.Model, *tensor.Tensor) {
+	m := nn.NewResNet(nn.ResNetConfig{
+		InC: 1, InH: 12, InW: 12, Classes: 10,
+		Widths: []int{6, 12, 24}, Blocks: []int{2, 2, 2}, Seed: 1,
+	})
+	m.SetThreads(0)
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.New(32, 1, 12, 12).RandN(rng, 0, 1)
+	return m, x
+}
+
+// forwardNsPerOp measures one forward pass at the current obs.Enable state,
+// taking the minimum over rounds to reject scheduler noise.
+func forwardNsPerOp(m *nn.Model, x *tensor.Tensor, rounds int) float64 {
+	best := math.MaxFloat64
+	for r := 0; r < rounds; r++ {
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.Forward(x)
+			}
+		})
+		if v := float64(res.NsPerOp()); v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+type obsBenchReport struct {
+	Threads          int     `json:"threads"`
+	DisabledNsPerOp  float64 `json:"disabled_ns_per_op"`
+	EnabledNsPerOp   float64 `json:"enabled_ns_per_op"`
+	OverheadPct      float64 `json:"overhead_pct"`
+	GuardOverheadPct float64 `json:"guard_overhead_pct"`
+}
+
+func TestEmitObsBench(t *testing.T) {
+	if *emitBench == "" {
+		t.Skip("pass -emit-bench=<path> (make obs-bench) to measure instrumentation overhead")
+	}
+	m, x := benchModel()
+	const rounds = 3
+
+	obs.Enable(false)
+	disabled := forwardNsPerOp(m, x, rounds)
+
+	obs.Enable(true)
+	enabled := forwardNsPerOp(m, x, rounds)
+	obs.Enable(false)
+	obs.Default.Reset()
+
+	overhead := (enabled - disabled) / disabled * 100
+	rep := obsBenchReport{
+		Threads:          runtime.GOMAXPROCS(0),
+		DisabledNsPerOp:  disabled,
+		EnabledNsPerOp:   enabled,
+		OverheadPct:      overhead,
+		GuardOverheadPct: maxEnabledOverheadPct,
+	}
+	t.Logf("forward pass: disabled %.0f ns/op, enabled %.0f ns/op, overhead %+.2f%%",
+		disabled, enabled, overhead)
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*emitBench, append(raw, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", *emitBench)
+
+	if overhead > maxEnabledOverheadPct {
+		t.Fatalf("enabled instrumentation overhead %.2f%% exceeds the %.1f%% guard", overhead, maxEnabledOverheadPct)
+	}
+}

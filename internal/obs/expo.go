@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// splitName breaks a registry key into its Prometheus base name and the
+// label body (without braces): `m{a="b"}` → ("m", `a="b"`).
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// joinLabels merges a label body with one extra label into a brace block.
+func joinLabels(labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return ""
+	case labels == "":
+		return "{" + extra + "}"
+	case extra == "":
+		return "{" + labels + "}"
+	default:
+		return "{" + labels + "," + extra + "}"
+	}
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format, sorted by name so output is deterministic. Histograms
+// expand into cumulative `_bucket` series plus `_sum` and `_count`.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+
+	type entry struct {
+		name string // full registry key
+		kind string
+	}
+	var entries []entry
+	for name := range snap.Counters {
+		entries = append(entries, entry{name, "counter"})
+	}
+	for name := range snap.Gauges {
+		entries = append(entries, entry{name, "gauge"})
+	}
+	for name := range snap.Histograms {
+		entries = append(entries, entry{name, "histogram"})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+
+	lastTyped := ""
+	for _, e := range entries {
+		base, labels := splitName(e.name)
+		if base != lastTyped {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, e.kind); err != nil {
+				return err
+			}
+			lastTyped = base
+		}
+		switch e.kind {
+		case "counter":
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", base, joinLabels(labels, ""), snap.Counters[e.name]); err != nil {
+				return err
+			}
+		case "gauge":
+			if _, err := fmt.Fprintf(w, "%s%s %g\n", base, joinLabels(labels, ""), snap.Gauges[e.name]); err != nil {
+				return err
+			}
+		case "histogram":
+			h := snap.Histograms[e.name]
+			cum := int64(0)
+			for i, c := range h.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(h.Bounds) {
+					le = formatFloat(h.Bounds[i])
+				}
+				lb := joinLabels(labels, fmt.Sprintf("le=%q", le))
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", base, lb, cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", base, joinLabels(labels, ""), h.Sum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", base, joinLabels(labels, ""), h.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// formatFloat renders a bucket bound compactly (integers without a point).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteJSON renders the registry snapshot as indented JSON. Map keys are
+// sorted by encoding/json, so output is deterministic.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

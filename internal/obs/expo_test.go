@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func expoRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("requests_total").Add(5)
+	r.Counter(`served_total{model="prod"}`).Add(3)
+	r.Counter(`served_total{model="canary"}`).Add(1)
+	r.Gauge("queue_depth").Set(2)
+	h := r.Histogram(`latency_seconds{model="prod"}`, []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.02)
+	h.Observe(0.5)
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := expoRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# TYPE latency_seconds histogram`,
+		`latency_seconds_bucket{model="prod",le="0.001"} 1`,
+		`latency_seconds_bucket{model="prod",le="0.01"} 1`,
+		`latency_seconds_bucket{model="prod",le="0.1"} 2`,
+		`latency_seconds_bucket{model="prod",le="+Inf"} 3`,
+		fmt.Sprintf(`latency_seconds_sum{model="prod"} %g`, 0.0005+0.02+0.5),
+		`latency_seconds_count{model="prod"} 3`,
+		`# TYPE queue_depth gauge`,
+		`queue_depth 2`,
+		`# TYPE requests_total counter`,
+		`requests_total 5`,
+		`# TYPE served_total counter`,
+		`served_total{model="canary"} 1`,
+		`served_total{model="prod"} 3`,
+		``,
+	}, "\n")
+	if got := b.String(); got != want {
+		t.Fatalf("prometheus exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	var b strings.Builder
+	if err := expoRegistry().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	// The JSON form must round-trip into a Snapshot with identical content
+	// and have sorted, deterministic keys.
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(b.String()), &snap); err != nil {
+		t.Fatalf("exposition is not valid JSON: %v\n%s", err, b.String())
+	}
+	if snap.Counters["requests_total"] != 5 || snap.Counters[`served_total{model="prod"}`] != 3 {
+		t.Fatalf("counters = %+v", snap.Counters)
+	}
+	if snap.Gauges["queue_depth"] != 2 {
+		t.Fatalf("gauges = %+v", snap.Gauges)
+	}
+	h := snap.Histograms[`latency_seconds{model="prod"}`]
+	if h.Count != 3 || h.Max != 0.5 || len(h.Counts) != 4 {
+		t.Fatalf("histogram = %+v", h)
+	}
+
+	var again strings.Builder
+	if err := expoRegistry().WriteJSON(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != b.String() {
+		t.Fatal("JSON exposition is not deterministic")
+	}
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// Concurrent hammering of every metric kind; run under -race by
+// `make race-fast`. Final values must be exact — the atomics lose nothing.
+func TestConcurrentMetricUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_total")
+	g := r.Gauge("hammer_gauge")
+	h := r.Histogram("hammer_hist", LinearBuckets(1, 1, 8))
+
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(0.5)
+				g.SetMax(float64(w))
+				h.Observe(float64(i%10 + 1)) // values 1..10, two past the last bound
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	// SetMax raced with Add, so only the histogram and counter values are
+	// exactly predictable; the gauge must at least reflect all Adds or the
+	// max, whichever the final CAS winner left (both are >= workers-1 here
+	// only when SetMax won last) — assert it is one of the reachable values.
+	if gv := g.Value(); gv < 0 {
+		t.Fatalf("gauge went negative: %v", gv)
+	}
+	snap := h.Snapshot()
+	if snap.Count != workers*perWorker {
+		t.Fatalf("hist count = %d, want %d", snap.Count, workers*perWorker)
+	}
+	var total int64
+	for _, n := range snap.Counts {
+		total += n
+	}
+	if total != snap.Count {
+		t.Fatalf("bucket counts sum to %d, want %d", total, snap.Count)
+	}
+	// Values 9 and 10 overflow the last bound (8): 2 of every 10 observations.
+	if over := snap.Counts[len(snap.Counts)-1]; over != workers*perWorker/5 {
+		t.Fatalf("overflow bucket = %d, want %d", over, workers*perWorker/5)
+	}
+	if snap.Max != 10 {
+		t.Fatalf("hist max = %v, want 10", snap.Max)
+	}
+	wantSum := float64(workers) * perWorker / 10 * (1 + 2 + 3 + 4 + 5 + 6 + 7 + 8 + 9 + 10)
+	if math.Abs(snap.Sum-wantSum) > 1e-6 {
+		t.Fatalf("hist sum = %v, want %v", snap.Sum, wantSum)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 5, 7} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	// Inclusive upper bounds: 0.5,1 → ≤1; 1.5,2 → ≤2; 3,5 → ≤5; 7 → +Inf.
+	want := []int64{2, 2, 2, 1}
+	for i, n := range snap.Counts {
+		if n != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (%+v)", i, n, want[i], snap)
+		}
+	}
+	if snap.Count != 7 || snap.Max != 7 {
+		t.Fatalf("count/max = %d/%v, want 7/7", snap.Count, snap.Max)
+	}
+	if empty := NewHistogram([]float64{1}).Snapshot(); empty.Max != 0 || empty.Count != 0 {
+		t.Fatalf("empty histogram snapshot = %+v", empty)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(1, 2, 4)
+	for i, want := range []float64{1, 3, 5, 7} {
+		if lin[i] != want {
+			t.Fatalf("LinearBuckets = %v", lin)
+		}
+	}
+	exp := ExpBuckets(0.001, 10, 3)
+	for i, want := range []float64{0.001, 0.01, 0.1} {
+		if math.Abs(exp[i]-want) > 1e-12 {
+			t.Fatalf("ExpBuckets = %v", exp)
+		}
+	}
+}
+
+func TestRegistryGetOrCreateAndReset(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("c")
+	c2 := r.Counter("c")
+	if c1 != c2 {
+		t.Fatal("Counter did not return the registered instance")
+	}
+	c1.Add(3)
+	r.Gauge("g").Set(2.5)
+	r.Histogram("h", []float64{1}).Observe(0.5)
+
+	snap := r.Snapshot()
+	if snap.Counters["c"] != 3 || snap.Gauges["g"] != 2.5 || snap.Histograms["h"].Count != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+
+	r.Reset()
+	snap = r.Snapshot()
+	if snap.Counters["c"] != 0 || snap.Gauges["g"] != 0 || snap.Histograms["h"].Count != 0 {
+		t.Fatalf("post-reset snapshot = %+v", snap)
+	}
+	if c1.Value() != 0 {
+		t.Fatal("cached pointer not reset in place")
+	}
+}
+
+func TestRegistryReplaceAndUnregister(t *testing.T) {
+	r := NewRegistry()
+	old := NewCounter()
+	old.Add(7)
+	r.RegisterCounter("swap_total", old)
+
+	fresh := NewCounter()
+	r.RegisterCounter("swap_total", fresh) // hot swap: fresh instance takes the name
+
+	if got := r.Snapshot().Counters["swap_total"]; got != 0 {
+		t.Fatalf("after swap, registered value = %d, want 0", got)
+	}
+	// The old engine's teardown must not remove the new registration.
+	if r.Unregister("swap_total", old) {
+		t.Fatal("Unregister removed a name registered to a different instance")
+	}
+	if _, ok := r.Snapshot().Counters["swap_total"]; !ok {
+		t.Fatal("swap_total disappeared")
+	}
+	if !r.Unregister("swap_total", fresh) {
+		t.Fatal("Unregister refused the current instance")
+	}
+	if _, ok := r.Snapshot().Counters["swap_total"]; ok {
+		t.Fatal("swap_total still registered after Unregister")
+	}
+}
+
+func TestRegistryKindCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a gauge over a counter name did not panic")
+		}
+	}()
+	r.Gauge("m")
+}

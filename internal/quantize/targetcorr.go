@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/img"
+	"repro/internal/obs"
 )
 
 // TargetCorrelated is the paper's Algorithm 1: image-based weight
@@ -51,14 +52,17 @@ func (t TargetCorrelated) Fit(weights []float64, levels int) Codebook {
 	n := len(weights)
 	bIdx := make([]int, levels+1)
 	cum := 0.0
+	clamps := 0
 	for i := 1; i <= levels; i++ {
 		cum += h[i-1]
 		bIdx[i] = int(math.Round(cum * float64(n)))
 		if bIdx[i] < bIdx[i-1] {
 			bIdx[i] = bIdx[i-1]
+			clamps++
 		}
 		if bIdx[i] > n {
 			bIdx[i] = n
+			clamps++
 		}
 	}
 	bIdx[levels] = n
@@ -71,6 +75,7 @@ func (t TargetCorrelated) Fit(weights []float64, levels int) Codebook {
 	repr := make([]float64, levels)
 	bounds := make([]float64, levels+1)
 	bounds[0] = math.Inf(-1)
+	empty := 0
 	for i := 0; i < levels; i++ {
 		lo, hi := bIdx[i], bIdx[i+1]
 		if i > 0 {
@@ -91,6 +96,7 @@ func (t TargetCorrelated) Fit(weights []float64, levels int) Codebook {
 			// pin the representative at the boundary so the level list
 			// stays monotone; the cluster captures no weights because
 			// its bounds coincide.
+			empty++
 			if lo < n {
 				repr[i] = sorted[lo]
 			} else {
@@ -99,5 +105,11 @@ func (t TargetCorrelated) Fit(weights []float64, levels int) Codebook {
 		}
 	}
 	bounds[levels] = math.Inf(1)
+	if obs.Enabled() {
+		obs.Default.Counter("quantize_fits_total").Inc()
+		obs.Default.Counter("quantize_boundary_iters_total").Add(int64(levels))
+		obs.Default.Counter("quantize_boundary_clamps_total").Add(int64(clamps))
+		obs.Default.Counter("quantize_empty_clusters_total").Add(int64(empty))
+	}
 	return Codebook{Levels: repr, Bounds: bounds}
 }

@@ -62,7 +62,7 @@ type Engine struct {
 	beforeFlush func(batch int)
 }
 
-func newEngine(m *nn.Model, opts Options) *Engine {
+func newEngine(m *nn.Model, name string, opts Options) *Engine {
 	e := &Engine{
 		model:    m,
 		ctx:      compute.New(opts.Threads),
@@ -72,7 +72,7 @@ func newEngine(m *nn.Model, opts Options) *Engine {
 		tick:     make(chan struct{}),
 		quit:     make(chan struct{}),
 		done:     make(chan struct{}),
-		stats:    newEngineStats(opts.MaxBatch),
+		stats:    newEngineStats(name, opts),
 	}
 	m.SetCtx(e.ctx)
 	go e.loop()

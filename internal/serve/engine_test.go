@@ -44,7 +44,7 @@ func submitAll(e *Engine, inputs [][]float64, tickUntilDone bool) ([]Prediction,
 // A full batch must flush on size alone — no tick, no timer.
 func TestEngineFlushesOnBatchSize(t *testing.T) {
 	m := testModel(1)
-	e := newEngine(m, manualOpts(4, 16).withDefaults())
+	e := newEngine(m, "test", manualOpts(4, 16).withDefaults())
 	defer e.Close()
 
 	inputs := testInputs(4, m.InputLen(), 10)
@@ -69,7 +69,7 @@ func TestEngineFlushesOnBatchSize(t *testing.T) {
 // A partial batch must flush on an explicit tick.
 func TestEngineFlushesOnTick(t *testing.T) {
 	m := testModel(2)
-	e := newEngine(m, manualOpts(8, 16).withDefaults())
+	e := newEngine(m, "test", manualOpts(8, 16).withDefaults())
 	defer e.Close()
 
 	inputs := testInputs(3, m.InputLen(), 11)
@@ -97,7 +97,7 @@ func TestEngineFlushesOnTick(t *testing.T) {
 func TestEngineBackpressure(t *testing.T) {
 	m := testModel(3)
 	opts := manualOpts(2, 2).withDefaults()
-	e := newEngine(m, opts)
+	e := newEngine(m, "test", opts)
 	defer e.Close()
 
 	inFlush := make(chan struct{})
@@ -165,7 +165,7 @@ func TestEngineBackpressure(t *testing.T) {
 // Close must answer every accepted request (drain), then reject new ones.
 func TestEngineCloseDrains(t *testing.T) {
 	m := testModel(4)
-	e := newEngine(m, manualOpts(8, 16).withDefaults())
+	e := newEngine(m, "test", manualOpts(8, 16).withDefaults())
 
 	inputs := testInputs(3, m.InputLen(), 15)
 	preds := make([]Prediction, len(inputs))
@@ -203,7 +203,7 @@ func TestEngineCloseDrains(t *testing.T) {
 // Submissions with the wrong input length fail up front.
 func TestEngineRejectsBadInput(t *testing.T) {
 	m := testModel(5)
-	e := newEngine(m, manualOpts(4, 8).withDefaults())
+	e := newEngine(m, "test", manualOpts(4, 8).withDefaults())
 	defer e.Close()
 	if _, err := e.Submit(make([]float64, m.InputLen()+1)); err == nil {
 		t.Fatal("expected input-length error")

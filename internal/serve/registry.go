@@ -98,7 +98,7 @@ func (r *Registry) Load(name string, src io.Reader) (*Entry, error) {
 		r.mu.Unlock()
 		return nil, ErrClosed
 	}
-	en.engine = newEngine(m, r.opts)
+	en.engine = newEngine(m, name, r.opts)
 	old := r.models[name]
 	r.models[name] = en
 	r.mu.Unlock()
@@ -138,8 +138,10 @@ func (r *Registry) List() []*Entry {
 	return out
 }
 
-// Remove unregisters name, draining and stopping its engine. It reports
-// whether a model was removed.
+// Remove unregisters name, draining and stopping its engine; the engine's
+// metric series leave the obs registry too (identity-checked, so a series
+// already taken over by a hot swap stays). It reports whether a model was
+// removed.
 func (r *Registry) Remove(name string) bool {
 	r.mu.Lock()
 	en, ok := r.models[name]
@@ -147,6 +149,7 @@ func (r *Registry) Remove(name string) bool {
 	r.mu.Unlock()
 	if ok {
 		en.engine.Close()
+		en.engine.stats.unregister()
 	}
 	return ok
 }

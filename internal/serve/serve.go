@@ -32,6 +32,8 @@ package serve
 import (
 	"errors"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Options configure a Registry and the per-model batching engines it
@@ -52,6 +54,12 @@ type Options struct {
 	// Threads is the worker count of each model engine's compute context
 	// (0 = GOMAXPROCS). Responses are bit-identical for every value.
 	Threads int
+	// Obs is the observability registry serving metrics are published to.
+	// nil selects obs.Default (what /metricsz exposes).
+	Obs *obs.Registry
+	// LatencyBuckets are the per-batch forward-latency histogram bounds in
+	// seconds. nil selects DefaultLatencyBuckets.
+	LatencyBuckets []float64
 }
 
 func (o Options) withDefaults() Options {
@@ -63,6 +71,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.FlushEvery == 0 {
 		o.FlushEvery = 2 * time.Millisecond
+	}
+	if o.Obs == nil {
+		o.Obs = obs.Default
+	}
+	if o.LatencyBuckets == nil {
+		o.LatencyBuckets = DefaultLatencyBuckets
 	}
 	return o
 }

@@ -7,9 +7,9 @@ import (
 	"net/http"
 	"strings"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/attack"
+	"repro/internal/obs"
 )
 
 // Server exposes a Registry over an HTTP JSON API:
@@ -18,7 +18,9 @@ import (
 //	GET  /v1/models               registered models and their metadata
 //	POST /v1/models/{name}:audit  defender-side distributional audit
 //	GET  /healthz                 liveness
-//	GET  /statsz                  serving counters
+//	GET  /statsz                  serving counters (JSON)
+//	GET  /metricsz                full obs registry (Prometheus text;
+//	                              ?format=json for the JSON snapshot)
 type Server struct {
 	reg *Registry
 	// auditBounds are the default conv-index group bounds the audit
@@ -26,25 +28,33 @@ type Server struct {
 	// the shared preset); requests may override them.
 	auditBounds []int
 	mux         *http.ServeMux
-	httpCount   int64 // total HTTP requests observed
+	// httpRequests counts every HTTP request; a fresh instance per server,
+	// registered as serve_http_requests_total on the registry's obs
+	// registry (replace semantics, like engine series).
+	httpRequests *obs.Counter
 }
 
 // NewServer wraps reg. auditBounds may be nil (audit then uses a single
 // group unless the request supplies bounds).
 func NewServer(reg *Registry, auditBounds []int) *Server {
-	s := &Server{reg: reg, auditBounds: auditBounds, mux: http.NewServeMux()}
+	s := &Server{
+		reg: reg, auditBounds: auditBounds, mux: http.NewServeMux(),
+		httpRequests: obs.NewCounter(),
+	}
+	reg.Options().Obs.RegisterCounter("serve_http_requests_total", s.httpRequests)
 	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("POST /v1/models/{nameop}", s.handleModelOp)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /statsz", s.handleStats)
+	s.mux.HandleFunc("GET /metricsz", s.handleMetrics)
 	return s
 }
 
 // Handler returns the root handler.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		atomic.AddInt64(&s.httpCount, 1)
+		s.httpRequests.Inc()
 		s.mux.ServeHTTP(w, r)
 	})
 }
@@ -229,9 +239,20 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"http_requests": atomic.LoadInt64(&s.httpCount),
+		"http_requests": s.httpRequests.Value(),
 		"models":        s.reg.Stats(),
 	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := s.reg.Options().Obs
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		reg.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	reg.WritePrometheus(w)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,59 +1,105 @@
 package serve
 
 import (
-	"sync"
+	"fmt"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// EngineStats tracks one model engine's serving counters. All methods are
-// safe for concurrent use; reads get a consistent Snapshot.
+// DefaultLatencyBuckets are the per-batch forward-latency histogram bounds
+// (seconds) engines use unless Options.LatencyBuckets overrides them:
+// 0.5ms doubling up to ~1s.
+var DefaultLatencyBuckets = obs.ExpBuckets(0.0005, 2, 12)
+
+// EngineStats tracks one model engine's serving counters on an obs
+// registry. Every engine owns fresh metric instances — updates are
+// lock-free atomics, so the hot path never contends with /statsz or
+// /metricsz readers — and publishes them under model-labeled series names
+// with replace semantics: a hot-swapped engine's series restart from zero
+// (an ordinary counter reset to a scraper) while the old engine keeps its
+// detached instances until it drains.
 type EngineStats struct {
-	mu        sync.Mutex
-	accepted  int64 // requests that made it into the queue
-	served    int64 // requests answered with a prediction
-	rejected  int64 // requests fast-failed with ErrQueueFull
-	errored   int64 // requests answered with a model error
-	batches   int64
-	batchHist []int64 // batchHist[k] counts batches of size k+1
-	totalLat  time.Duration
-	maxLat    time.Duration
+	reg *obs.Registry
+	// series maps registered name → the instance this engine registered,
+	// for identity-checked unregistration (Registry.Remove): if a hot swap
+	// already replaced the registration, unregister leaves it alone.
+	series map[string]any
+
+	accepted *obs.Counter // requests that made it into the queue
+	served   *obs.Counter // requests answered with a prediction
+	rejected *obs.Counter // requests fast-failed with ErrQueueFull
+	errored  *obs.Counter // requests answered with a model error
+
+	// batchSize has one exact bucket per size 1..MaxBatch, so the
+	// /statsz batch_hist map is reconstructed without loss.
+	batchSize *obs.Histogram
+	// latency holds per-batch forward latency in seconds.
+	latency *obs.Histogram
 }
 
-func newEngineStats(maxBatch int) *EngineStats {
-	return &EngineStats{batchHist: make([]int64, maxBatch)}
+func newEngineStats(model string, opts Options) *EngineStats {
+	reg := opts.Obs
+	if reg == nil {
+		reg = obs.Default
+	}
+	lat := opts.LatencyBuckets
+	if lat == nil {
+		lat = DefaultLatencyBuckets
+	}
+	s := &EngineStats{
+		reg:       reg,
+		series:    map[string]any{},
+		accepted:  obs.NewCounter(),
+		served:    obs.NewCounter(),
+		rejected:  obs.NewCounter(),
+		errored:   obs.NewCounter(),
+		batchSize: obs.NewHistogram(obs.LinearBuckets(1, 1, opts.MaxBatch)),
+		latency:   obs.NewHistogram(lat),
+	}
+	lbl := ""
+	if model != "" {
+		lbl = fmt.Sprintf(`{model=%q}`, model)
+	}
+	for name, c := range map[string]*obs.Counter{
+		"serve_requests_accepted_total" + lbl: s.accepted,
+		"serve_requests_served_total" + lbl:   s.served,
+		"serve_requests_rejected_total" + lbl: s.rejected,
+		"serve_requests_errored_total" + lbl:  s.errored,
+	} {
+		reg.RegisterCounter(name, c)
+		s.series[name] = c
+	}
+	for name, h := range map[string]*obs.Histogram{
+		"serve_batch_size" + lbl:            s.batchSize,
+		"serve_batch_latency_seconds" + lbl: s.latency,
+	} {
+		reg.RegisterHistogram(name, h)
+		s.series[name] = h
+	}
+	return s
 }
 
-func (s *EngineStats) recordAccepted() {
-	s.mu.Lock()
-	s.accepted++
-	s.mu.Unlock()
+// unregister removes this engine's series from the shared registry. The
+// identity check leaves a hot-swap replacement's series (same names, newer
+// instances) in place.
+func (s *EngineStats) unregister() {
+	for name, m := range s.series {
+		s.reg.Unregister(name, m)
+	}
 }
 
-func (s *EngineStats) recordRejected() {
-	s.mu.Lock()
-	s.rejected++
-	s.mu.Unlock()
-}
+func (s *EngineStats) recordAccepted() { s.accepted.Inc() }
+
+func (s *EngineStats) recordRejected() { s.rejected.Inc() }
 
 func (s *EngineStats) recordBatch(size int, lat time.Duration) {
-	s.mu.Lock()
-	s.batches++
-	s.served += int64(size)
-	if size >= 1 && size <= len(s.batchHist) {
-		s.batchHist[size-1]++
-	}
-	s.totalLat += lat
-	if lat > s.maxLat {
-		s.maxLat = lat
-	}
-	s.mu.Unlock()
+	s.served.Add(int64(size))
+	s.batchSize.Observe(float64(size))
+	s.latency.Observe(lat.Seconds())
 }
 
-func (s *EngineStats) recordError(size int) {
-	s.mu.Lock()
-	s.errored += int64(size)
-	s.mu.Unlock()
-}
+func (s *EngineStats) recordError(size int) { s.errored.Add(int64(size)) }
 
 // Snapshot is the JSON form of one engine's counters.
 type Snapshot struct {
@@ -77,17 +123,19 @@ type Snapshot struct {
 }
 
 func (s *EngineStats) snapshot(queueDepth int) Snapshot {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	bh := s.batchSize.Snapshot()
+	lh := s.latency.Snapshot()
 	snap := Snapshot{
-		Accepted:   s.accepted,
-		Served:     s.served,
-		Errored:    s.errored,
-		Rejected:   s.rejected,
-		Batches:    s.batches,
+		Accepted:   s.accepted.Value(),
+		Served:     s.served.Value(),
+		Errored:    s.errored.Value(),
+		Rejected:   s.rejected.Value(),
+		Batches:    bh.Count,
 		QueueDepth: queueDepth,
 	}
-	for i, n := range s.batchHist {
+	// The size histogram's buckets are exact (bound i+1 holds size i+1);
+	// the overflow bucket stays empty because flush never exceeds MaxBatch.
+	for i, n := range bh.Counts[:len(bh.Bounds)] {
 		if n > 0 {
 			if snap.BatchHist == nil {
 				snap.BatchHist = make(map[int]int64)
@@ -95,10 +143,12 @@ func (s *EngineStats) snapshot(queueDepth int) Snapshot {
 			snap.BatchHist[i+1] = n
 		}
 	}
-	if s.batches > 0 {
-		snap.MeanBatch = float64(s.served+s.errored) / float64(s.batches)
-		snap.MeanLatencyMS = float64(s.totalLat.Microseconds()) / float64(s.batches) / 1e3
-		snap.MaxLatencyMS = float64(s.maxLat.Microseconds()) / 1e3
+	if snap.Batches > 0 {
+		snap.MeanBatch = float64(snap.Served+snap.Errored) / float64(snap.Batches)
+	}
+	if lh.Count > 0 {
+		snap.MeanLatencyMS = lh.Sum / float64(lh.Count) * 1e3
+		snap.MaxLatencyMS = lh.Max * 1e3
 	}
 	return snap
 }

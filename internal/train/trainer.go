@@ -5,8 +5,10 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"time"
 
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -18,6 +20,14 @@ import (
 // The correlated-value-encoding attacks implement this interface.
 type Regularizer interface {
 	Apply(m *nn.Model) float64
+}
+
+// groupCorrelated is the optional diagnostics side of a regularizer: the
+// correlation attacks report the per-group Pearson correlation of their
+// last Apply, which the trainer surfaces in EpochStats and the obs
+// registry.
+type groupCorrelated interface {
+	Correlations() []float64
 }
 
 // Config controls a training run.
@@ -41,8 +51,14 @@ type Config struct {
 	// the layer contract reduces per-sample gradients in fixed sample
 	// order — so the knob trades wall-clock only, never reproducibility.
 	Threads int
-	// Log, when non-nil, receives one line per epoch.
-	Log io.Writer
+	// Log, when non-nil, receives each epoch's statistics. Use LogTo for
+	// the default one-line stdout formatter.
+	Log func(EpochStats)
+	// Trace, when non-nil, receives phase spans: one train/epoch span per
+	// epoch with forward/backward/regularizer/optimizer children
+	// accumulated over the epoch's steps. nil disables tracing with no
+	// per-step cost.
+	Trace *obs.Tracer
 	// ClipNorm, when positive, rescales the global gradient norm to at
 	// most this value before each step (keeps the correlation penalty
 	// from destabilizing early epochs).
@@ -55,6 +71,25 @@ type EpochStats struct {
 	DataLoss float64
 	RegLoss  float64
 	LR       float64
+	// Steps is the number of optimizer steps the epoch ran.
+	Steps int
+	// Forward, Backward, Reg, and Optim are the wall time the epoch spent
+	// in each phase, summed over its steps. They are measured only when
+	// timing is on (Config.Trace set or obs enabled) and zero otherwise,
+	// so the hot loop pays no clock reads by default.
+	Forward, Backward, Reg, Optim time.Duration
+	// GroupCorr is the per-group correlation reported by the regularizer
+	// after the epoch's last step (nil unless the regularizer exposes
+	// Correlations, i.e. for the encoding attacks).
+	GroupCorr []float64
+}
+
+// LogTo adapts an io.Writer into a Config.Log callback using the default
+// per-epoch line format.
+func LogTo(w io.Writer) func(EpochStats) {
+	return func(st EpochStats) {
+		fmt.Fprintf(w, "epoch %3d  loss %.4f  reg %.4f  lr %.4g\n", st.Epoch, st.DataLoss, st.RegLoss, st.LR)
+	}
 }
 
 // Result summarizes a training run.
@@ -94,27 +129,58 @@ func Run(m *nn.Model, x *tensor.Tensor, y []int, cfg Config) Result {
 
 	var res Result
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		// Timing is re-checked per epoch so flipping obs.Enable mid-run
+		// (e.g. from a signal handler) takes effect at the next epoch.
+		timed := cfg.Trace != nil || obs.Enabled()
 		if cfg.Schedule != nil {
 			cfg.Optimizer.SetLR(cfg.Schedule(epoch))
 		}
 		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
 		var dataLoss, regLoss float64
+		var tForward, tBackward, tReg, tOptim time.Duration
+		var epochStart time.Time
+		if timed {
+			epochStart = time.Now()
+		}
 		steps := 0
 		for lo := 0; lo+cfg.BatchSize <= n; lo += cfg.BatchSize {
 			bs := cfg.BatchSize
 			gather(bx, by, x, y, perm[lo:lo+bs])
 			batch := bx.Reshape(append([]int{bs}, m.InputShape...)...)
 			m.ZeroGrad()
+
+			var t0 time.Time
+			if timed {
+				t0 = time.Now()
+			}
 			logits := m.ForwardTrain(batch)
 			loss, grad := nn.SoftmaxCrossEntropy(logits, by[:bs])
+			if timed {
+				t1 := time.Now()
+				tForward += t1.Sub(t0)
+				t0 = t1
+			}
 			m.Backward(grad)
+			if timed {
+				t1 := time.Now()
+				tBackward += t1.Sub(t0)
+				t0 = t1
+			}
 			if cfg.Reg != nil {
 				regLoss += cfg.Reg.Apply(m)
+				if timed {
+					t1 := time.Now()
+					tReg += t1.Sub(t0)
+					t0 = t1
+				}
 			}
 			if cfg.ClipNorm > 0 {
 				clipGradNorm(m.Params(), cfg.ClipNorm)
 			}
 			cfg.Optimizer.Step(m.Params())
+			if timed {
+				tOptim += time.Since(t0)
+			}
 			dataLoss += loss
 			steps++
 		}
@@ -122,13 +188,47 @@ func Run(m *nn.Model, x *tensor.Tensor, y []int, cfg Config) Result {
 			dataLoss /= float64(steps)
 			regLoss /= float64(steps)
 		}
-		st := EpochStats{Epoch: epoch, DataLoss: dataLoss, RegLoss: regLoss, LR: cfg.Optimizer.LR()}
+		st := EpochStats{
+			Epoch: epoch, DataLoss: dataLoss, RegLoss: regLoss,
+			LR: cfg.Optimizer.LR(), Steps: steps,
+			Forward: tForward, Backward: tBackward, Reg: tReg, Optim: tOptim,
+		}
+		if gc, ok := cfg.Reg.(groupCorrelated); ok {
+			st.GroupCorr = gc.Correlations()
+		}
+		if timed {
+			recordEpoch(cfg.Trace, st, time.Since(epochStart))
+		}
 		res.Epochs = append(res.Epochs, st)
 		if cfg.Log != nil {
-			fmt.Fprintf(cfg.Log, "epoch %3d  loss %.4f  reg %.4f  lr %.4g\n", epoch, dataLoss, regLoss, st.LR)
+			cfg.Log(st)
 		}
 	}
 	return res
+}
+
+// recordEpoch folds one epoch's accumulated phase timings into the span
+// tree and the shared metrics registry. Called once per epoch, off the
+// step-granularity hot path.
+func recordEpoch(tr *obs.Tracer, st EpochStats, epochWall time.Duration) {
+	steps := int64(st.Steps)
+	tr.Add("train/epoch", epochWall, 1)
+	tr.Add("train/epoch/forward", st.Forward, steps)
+	tr.Add("train/epoch/backward", st.Backward, steps)
+	if st.Reg > 0 {
+		tr.Add("train/epoch/regularizer", st.Reg, steps)
+	}
+	tr.Add("train/epoch/optimizer", st.Optim, steps)
+	if !obs.Enabled() {
+		return
+	}
+	obs.Default.Counter("train_epochs_total").Inc()
+	obs.Default.Counter("train_steps_total").Add(steps)
+	obs.Default.Gauge("train_data_loss").Set(st.DataLoss)
+	obs.Default.Gauge("train_reg_loss").Set(st.RegLoss)
+	for i, c := range st.GroupCorr {
+		obs.Default.Gauge(fmt.Sprintf(`train_group_corr{group="%d"}`, i)).Set(c)
+	}
 }
 
 // gather copies the permuted samples into the batch buffers.
