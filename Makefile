@@ -34,4 +34,11 @@ serve-bench:
 obs-bench:
 	go test ./internal/obs/ -run '^TestEmitObsBench$$' -count=1 -v -args -emit-bench=$(CURDIR)/BENCH_obs.json
 
-.PHONY: check race race-fast vet bench serve-bench obs-bench
+# Pipeline cache benchmark: the quantizer ablation run cold (empty artifact
+# store) vs warm (same store, fresh process state) written to
+# BENCH_pipeline.json; fails if the warm run trains any epoch or misses any
+# stage.
+pipeline-bench:
+	go test ./internal/experiments/ -run '^TestEmitPipelineBench$$' -count=1 -v -args -emit-bench=$(CURDIR)/BENCH_pipeline.json
+
+.PHONY: check race race-fast vet bench serve-bench obs-bench pipeline-bench

@@ -15,11 +15,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 
+	"repro/internal/artifact"
 	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/img"
@@ -40,6 +42,7 @@ func main() {
 	audit := flag.Bool("audit", false, "defender mode: run the distributional audit instead of extracting")
 	threads := flag.Int("threads", 0, "worker threads for model forward passes (0 = all cores)")
 	traceOut := flag.String("trace-out", "", "write a phase-span timing report to this file at exit (\"-\" for stderr)")
+	cacheDir := flag.String("cache-dir", "", "persistent artifact store; a repeat extraction of the same model file is served from cache")
 	flag.Parse()
 
 	var tracer *obs.Tracer
@@ -49,8 +52,16 @@ func main() {
 		defer writeTrace(*traceOut, tracer)
 	}
 
+	var store *artifact.Store
+	if *cacheDir != "" {
+		var err error
+		if store, err = artifact.Open(*cacheDir); err != nil {
+			fatal(err)
+		}
+	}
+
 	sp := tracer.Span("extract/load")
-	rm, err := modelio.Load(*modelPath)
+	rm, digest, err := modelio.LoadWithDigest(*modelPath)
 	if err != nil {
 		fatal(err)
 	}
@@ -91,16 +102,54 @@ func main() {
 	fmt.Printf("model: %d weights, encoding group %q holds up to %d %dx%dx%d images\n",
 		m.NumWeightParams(), encodingGroup.Name, capacity, c, h, w)
 
-	// Fabricate a plan describing where the payload lives; the adversary
-	// derives this from its own algorithm, not from the training run.
-	pg := attack.PlanGroup{GroupIndex: len(groups) - 1}
-	for i := 0; i < capacity; i++ {
-		pg.Images = append(pg.Images, img.New(c, h, w)) // placeholders for count
+	// The extraction is a pure function of the released model bytes and
+	// the adversary's own constants, so a repeat run over the same model
+	// file can be served from the artifact store.
+	var key string
+	if store != nil {
+		key = artifact.NewKey("extract-cli/v1").
+			Str("model", digest).
+			Ints("bounds", gb).
+			Str("geom", *geom).
+			Float("mean", *mean).
+			Float("std", *std).
+			Sum()
 	}
-	opt := attack.DecodeOptions{TargetMean: *mean, TargetStd: *std}
-	sp = tracer.Span("extract/decode")
-	recon := attack.DecodeGroup(pg, encodingGroup, [3]int{c, h, w}, opt)
-	sp.End()
+	var recon []*img.Image
+	if store != nil {
+		if rc, err := store.Get("report", key); err == nil {
+			rep, rerr := attack.ReadReport(rc)
+			rc.Close()
+			if rerr == nil {
+				recon = rep.Recon
+				fmt.Println("cache: extraction served from store")
+			} else {
+				fmt.Fprintf(os.Stderr, "dacextract: cached report unusable, re-extracting: %v\n", rerr)
+				store.Delete("report", key)
+			}
+		}
+	}
+	if recon == nil {
+		// Fabricate a plan describing where the payload lives; the
+		// adversary derives this from its own algorithm, not from the
+		// training run.
+		pg := attack.PlanGroup{GroupIndex: len(groups) - 1}
+		for i := 0; i < capacity; i++ {
+			pg.Images = append(pg.Images, img.New(c, h, w)) // placeholders for count
+		}
+		opt := attack.DecodeOptions{TargetMean: *mean, TargetStd: *std}
+		sp = tracer.Span("extract/decode")
+		recon = attack.DecodeGroup(pg, encodingGroup, [3]int{c, h, w}, opt)
+		sp.End()
+		if store != nil {
+			err := store.Put("report", key, func(w io.Writer) error {
+				return attack.WriteReport(w, &attack.Report{Recon: recon})
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dacextract: cache write failed: %v\n", err)
+			}
+		}
+	}
 
 	sp = tracer.Span("extract/save")
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {

@@ -16,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/modelio"
@@ -32,6 +33,8 @@ func main() {
 	seed := flag.Int64("seed", 7, "seed")
 	threads := flag.Int("threads", 0, "worker threads per model pass (0 = all cores; results identical for any value)")
 	traceOut := flag.String("trace-out", "", "write a phase-span timing report to this file at exit (\"-\" for stderr)")
+	cacheDir := flag.String("cache-dir", "", "persistent artifact store; stages with cached results are skipped across invocations")
+	resume := flag.Bool("resume", false, "with -cache-dir: continue an interrupted training run from its latest epoch checkpoint")
 	flag.Parse()
 
 	var tracer *obs.Tracer
@@ -39,6 +42,17 @@ func main() {
 		obs.Enable(true)
 		tracer = obs.NewTracer()
 		defer writeTrace(*traceOut, tracer)
+	}
+
+	var store *artifact.Store
+	if *cacheDir != "" {
+		var err error
+		if store, err = artifact.Open(*cacheDir); err != nil {
+			fatal(err)
+		}
+	} else if *resume {
+		fmt.Fprintln(os.Stderr, "dacrelease: -resume requires -cache-dir")
+		os.Exit(2)
 	}
 
 	preset := core.CIFARRelease()
@@ -54,6 +68,7 @@ func main() {
 		FineTuneEpochs: 3, KeepRegDuringFineTune: true,
 		Seed: *seed, Log: os.Stderr,
 		Threads: *threads, Trace: tracer,
+		Cache: store, Resume: *resume,
 	})
 
 	rm, err := modelio.Export(res.Model, arch, res.Applied)

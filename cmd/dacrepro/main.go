@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/artifact"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 )
@@ -24,6 +25,8 @@ func main() {
 	outDir := flag.String("outdir", "", "directory for image artifacts (fig5)")
 	threads := flag.Int("threads", 0, "worker threads per model pass (0 = all cores; results identical for any value)")
 	traceOut := flag.String("trace-out", "", "write a phase-span timing report to this file at exit (\"-\" for stderr)")
+	cacheDir := flag.String("cache-dir", "", "persistent artifact store; stages with cached results are skipped across invocations")
+	resume := flag.Bool("resume", false, "with -cache-dir: continue interrupted training runs from their latest epoch checkpoint")
 	flag.Parse()
 
 	args := flag.Args()
@@ -35,6 +38,23 @@ func main() {
 
 	env := experiments.NewEnv(*seed, *quick, os.Stdout)
 	env.Threads = *threads
+	if *cacheDir != "" {
+		store, err := artifact.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dacrepro: %v\n", err)
+			os.Exit(1)
+		}
+		env.Cache = store
+		env.Resume = *resume
+		defer func() {
+			st := store.Stats()
+			fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d bytes read, %d bytes written\n",
+				st.Hits, st.Misses, st.ReadBytes, st.WriteBytes)
+		}()
+	} else if *resume {
+		fmt.Fprintln(os.Stderr, "dacrepro: -resume requires -cache-dir")
+		os.Exit(2)
+	}
 	if *verbose {
 		env.Log = os.Stderr
 	}

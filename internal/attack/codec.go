@@ -1,0 +1,156 @@
+package attack
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/img"
+)
+
+// Artifact codecs for the attack-side pipeline stages: the encoding plan
+// the pre-processing stage produces, and the extraction report the final
+// stage produces. Both follow the repo's serialization convention
+// (modelio): a versioned magic header, a gob payload, and structural
+// validation on both ends so corrupted or foreign streams fail with
+// precise errors instead of panics deep in a consumer.
+const (
+	planMagic   = "DACPLN1\n"
+	reportMagic = "DACRPT1\n"
+)
+
+// ErrBadPlan reports that a stream is not an encoding-plan artifact.
+var ErrBadPlan = errors.New("attack: bad magic (not an encoding plan)")
+
+// ErrBadReport reports that a stream is not an extraction-report artifact.
+var ErrBadReport = errors.New("attack: bad magic (not an extraction report)")
+
+// WritePlan serializes a pre-processing plan.
+func WritePlan(w io.Writer, p *Plan) error {
+	if err := validatePlan(p); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, planMagic); err != nil {
+		return fmt.Errorf("attack: write plan header: %w", err)
+	}
+	if err := gob.NewEncoder(w).Encode(p); err != nil {
+		return fmt.Errorf("attack: encode plan: %w", err)
+	}
+	return nil
+}
+
+// ReadPlan reads a plan artifact, verifying the magic header and the
+// structural consistency of the payload.
+func ReadPlan(r io.Reader) (*Plan, error) {
+	if err := readMagic(r, planMagic, ErrBadPlan, "plan"); err != nil {
+		return nil, err
+	}
+	var p Plan
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("attack: decode plan: %w", err)
+	}
+	if err := validatePlan(&p); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// validatePlan checks the invariants consumers (the regularizer, the
+// quantizer, the decoder) index on.
+func validatePlan(p *Plan) error {
+	u := p.ImageGeom[0] * p.ImageGeom[1] * p.ImageGeom[2]
+	if u <= 0 {
+		return fmt.Errorf("attack: plan has invalid image geometry %v", p.ImageGeom)
+	}
+	for gi, g := range p.Groups {
+		if g.GroupIndex < 0 || g.GroupIndex >= len(p.Groups) {
+			return fmt.Errorf("attack: plan group %d has out-of-range index %d", gi, g.GroupIndex)
+		}
+		if len(g.Secret) != len(g.Images)*u {
+			return fmt.Errorf("attack: plan group %d has %d secret values for %d images of %d pixels",
+				gi, len(g.Secret), len(g.Images), u)
+		}
+		if len(g.DatasetIndices) != len(g.Images) {
+			return fmt.Errorf("attack: plan group %d has %d dataset indices for %d images",
+				gi, len(g.DatasetIndices), len(g.Images))
+		}
+		for _, im := range g.Images {
+			if im == nil || im.NumPix() != u {
+				return fmt.Errorf("attack: plan group %d holds an image that is not %v", gi, p.ImageGeom)
+			}
+		}
+	}
+	return nil
+}
+
+// Report is the serializable output of the extraction stage: the
+// aggregate and per-group scores plus the reconstructed images, aligned
+// with the plan's AllImages order. dacextract also caches Reports keyed
+// on the released model's digest, with zero Scores when no ground truth
+// was available.
+type Report struct {
+	// Score aggregates reconstruction quality over all encoded images.
+	Score Score
+	// PerGroup holds one score per non-empty encoding group.
+	PerGroup []Score
+	// Recon are the reconstructed images.
+	Recon []*img.Image
+}
+
+// WriteReport serializes an extraction report.
+func WriteReport(w io.Writer, rep *Report) error {
+	if err := validateReport(rep); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, reportMagic); err != nil {
+		return fmt.Errorf("attack: write report header: %w", err)
+	}
+	if err := gob.NewEncoder(w).Encode(rep); err != nil {
+		return fmt.Errorf("attack: encode report: %w", err)
+	}
+	return nil
+}
+
+// ReadReport reads a report artifact, verifying the magic header and
+// the structural consistency of the payload.
+func ReadReport(r io.Reader) (*Report, error) {
+	if err := readMagic(r, reportMagic, ErrBadReport, "report"); err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := gob.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("attack: decode report: %w", err)
+	}
+	if err := validateReport(&rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+func validateReport(rep *Report) error {
+	if rep.Score.N < 0 || rep.Score.N > len(rep.Score.MAPEs)+len(rep.Recon) {
+		return fmt.Errorf("attack: report scores %d images, holds %d", rep.Score.N, len(rep.Recon))
+	}
+	for i, im := range rep.Recon {
+		if im == nil || im.NumPix() == 0 || im.C*im.H*im.W != im.NumPix() {
+			return fmt.Errorf("attack: report image %d is malformed", i)
+		}
+	}
+	return nil
+}
+
+// readMagic consumes and checks a codec's magic header.
+func readMagic(r io.Reader, magic string, badErr error, what string) error {
+	hdr := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("attack: truncated %s header: %w", what, io.ErrUnexpectedEOF)
+		}
+		return fmt.Errorf("attack: read %s header: %w", what, err)
+	}
+	if string(hdr) != magic {
+		return fmt.Errorf("%w: header %q", badErr, hdr)
+	}
+	return nil
+}

@@ -11,15 +11,14 @@ package core
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
+	"repro/internal/artifact"
 	"repro/internal/attack"
 	"repro/internal/dataset"
 	"repro/internal/img"
 	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/quantize"
-	"repro/internal/train"
 )
 
 // QuantMode selects the compression step of the pipeline.
@@ -129,9 +128,26 @@ type Config struct {
 	// per-epoch lines, formatted by train.LogTo.
 	Log io.Writer
 	// Trace, when non-nil, receives phase spans for the whole pipeline
-	// (core/preprocess, core/train, core/quantize, core/finetune,
-	// core/extract) plus the trainer's per-epoch breakdown.
+	// (core/split, core/preprocess, core/train, core/quantize,
+	// core/finetune, core/extract) plus the trainer's per-epoch breakdown.
 	Trace *obs.Tracer
+
+	// Cache, when non-nil, persists stage outputs into the store and
+	// reuses them on later runs with matching cache keys (see pipeline.go
+	// for the stage graph and key derivation). Requires ModelCfg: a
+	// Builder closure has no canonical identity to key on, so setting
+	// both panics. Mid-training epoch checkpoints are also written
+	// (cadence CheckpointEvery) so interrupted runs can resume.
+	Cache *artifact.Store
+	// Resume, when true and Cache is set, probes the store for the latest
+	// mid-training epoch checkpoint of this exact configuration and
+	// continues training from it — bit-identically to an uninterrupted
+	// run — instead of starting over. A full train artifact still wins
+	// over any partial checkpoint.
+	Resume bool
+	// CheckpointEvery sets the mid-training checkpoint cadence in epochs
+	// when Cache is set: 0 defaults to 5, negative disables.
+	CheckpointEvery int
 }
 
 // Result captures everything the evaluation tables need from one run.
@@ -159,10 +175,20 @@ type Result struct {
 	Applied *quantize.Applied
 }
 
-// Run executes the pipeline described by cfg.
+// Run executes the pipeline described by cfg: the stage graph
+//
+//	split → preprocess → train → quantize → finetune → extract
+//
+// defined in pipeline.go. Without a Cache every stage recomputes, exactly
+// as the monolithic flow did; with one, each stage first probes the store
+// under its deterministic cache key and only computes (then persists) on
+// a miss.
 func Run(cfg Config) *Result {
 	if cfg.Data == nil {
 		panic("core: Config.Data is required")
+	}
+	if cfg.Cache != nil && cfg.Builder != nil {
+		panic("core: Cache requires ModelCfg; a Builder closure has no canonical identity to key on")
 	}
 	if cfg.TestFrac == 0 {
 		cfg.TestFrac = 0.2
@@ -176,23 +202,6 @@ func Run(cfg Config) *Result {
 	if cfg.Bits == 0 {
 		cfg.Bits = 4
 	}
-	logf := func(format string, args ...any) {
-		if cfg.Log != nil {
-			fmt.Fprintf(cfg.Log, format+"\n", args...)
-		}
-	}
-
-	trainSet, testSet := cfg.Data.Split(cfg.TestFrac)
-	x, y := trainSet.Tensors()
-	tx, ty := testSet.Tensors()
-	if cfg.TrainLabelNoise > 0 {
-		rng := rand.New(rand.NewSource(cfg.Seed + 7))
-		for i := range y {
-			if rng.Float64() < cfg.TrainLabelNoise {
-				y[i] = rng.Intn(cfg.Data.Classes)
-			}
-		}
-	}
 
 	var m *nn.Model
 	if cfg.Builder != nil {
@@ -201,10 +210,6 @@ func Run(cfg Config) *Result {
 		m = nn.NewResNet(cfg.ModelCfg)
 	}
 	groups := m.GroupsByConvIndex(cfg.GroupBounds)
-
-	res := &Result{Model: m, Groups: groups}
-
-	// Step 1: data pre-processing (Fig 1, Sec. IV-A).
 	lambdas := cfg.Lambdas
 	if lambdas == nil {
 		lambdas = make([]float64, len(groups))
@@ -212,117 +217,17 @@ func Run(cfg Config) *Result {
 	if len(lambdas) != len(groups) {
 		panic(fmt.Sprintf("core: %d lambdas for %d groups", len(lambdas), len(groups)))
 	}
-	malicious := false
-	for _, l := range lambdas {
-		if l != 0 {
-			malicious = true
-		}
-	}
-	var reg *attack.CorrelationReg
-	if malicious {
-		sp := cfg.Trace.Span("core/preprocess")
-		if cfg.WindowLen > 0 {
-			res.Plan = attack.BuildPlan(trainSet, cfg.WindowLen, groups, lambdas, cfg.Seed)
-		} else {
-			res.Plan = uniformPlanOverActive(trainSet, groups, lambdas, cfg.Seed)
-		}
-		reg = attack.NewLayerwiseReg(groups, res.Plan.Lambdas(), res.Plan.Secrets())
-		res.Reg = reg
-		sp.End()
-		logf("plan: %d images in std window (%.0f, %.0f)", res.Plan.TotalImages(), res.Plan.Window.Lo, res.Plan.Window.Hi)
-	}
 
-	// Step 2: training with the (possibly malicious) regularizer.
-	tcfg := train.Config{
-		Epochs: cfg.Epochs, BatchSize: cfg.BatchSize,
-		Optimizer: train.NewSGD(cfg.LR, cfg.Momentum, 0),
-		Schedule:  train.StepDecay(cfg.LR, max(cfg.Epochs/3, 1), 0.3),
-		Seed:      cfg.Seed, ClipNorm: cfg.ClipNorm,
-		Threads: cfg.Threads, Trace: cfg.Trace,
+	p := &pipeline{
+		cfg: cfg, store: cfg.Cache,
+		m: m, groups: groups, lambdas: lambdas,
+		res:  &Result{Model: m, Groups: groups},
+		keys: make(map[string]string),
 	}
-	if cfg.Log != nil {
-		tcfg.Log = train.LogTo(cfg.Log)
+	for _, st := range stages() {
+		p.exec(st)
 	}
-	if reg != nil {
-		tcfg.Reg = reg
-	}
-	sp := cfg.Trace.Span("core/train")
-	train.Run(m, x, y, tcfg)
-	sp.End()
-	res.PreQuantTestAcc = m.Accuracy(tx, ty, 64)
-	logf("trained: test acc %.2f%%", 100*res.PreQuantTestAcc)
-
-	// Step 3: quantization + fine-tuning.
-	levels := 1 << cfg.Bits
-	sp = cfg.Trace.Span("core/quantize")
-	switch cfg.Quant {
-	case QuantNone:
-		// Released at full precision.
-	case QuantWEQ:
-		res.Applied = quantize.QuantizeModel(m, quantize.WeightedEntropy{}, levels)
-	case QuantLinear:
-		res.Applied = quantize.QuantizeModel(m, quantize.Linear{LloydIters: 5}, levels)
-	case QuantTargetCorrelated:
-		if res.Plan == nil {
-			panic("core: target-correlated quantization requires a malicious run")
-		}
-		res.Applied = targetCorrelatedQuantize(m, groups, res.Plan, levels)
-	default:
-		panic(fmt.Sprintf("core: unknown quant mode %v", cfg.Quant))
-	}
-	sp.End()
-	if res.Applied != nil && cfg.FineTuneEpochs > 0 {
-		ft := quantize.FineTuneConfig{
-			Epochs: cfg.FineTuneEpochs, BatchSize: cfg.BatchSize,
-			LR: cfg.FineTuneLR, Seed: cfg.Seed + 1,
-		}
-		if ft.LR == 0 {
-			ft.LR = cfg.LR / 10
-		}
-		if cfg.KeepRegDuringFineTune && reg != nil {
-			ft.Reg = reg
-		}
-		sp = cfg.Trace.Span("core/finetune")
-		quantize.FineTune(m, res.Applied, x, y, ft)
-		sp.End()
-	}
-
-	// Released-model metrics.
-	res.TrainAcc = m.Accuracy(x, y, 64)
-	res.TestAcc = m.Accuracy(tx, ty, 64)
-	logf("released: test acc %.2f%% (quant=%v bits=%d)", 100*res.TestAcc, cfg.Quant, cfg.Bits)
-
-	// Step 4: the adversary's extraction pass. The decode moment-matches
-	// to the domain statistics the adversary chose at pre-processing time:
-	// natural-image brightness centers near 128 and the pixel std is
-	// whatever the std window selected for (or the domain-typical ~50 for
-	// the vanilla uniform attack).
-	if res.Plan != nil {
-		sp = cfg.Trace.Span("core/extract")
-		defer sp.End()
-		opt := attack.DecodeOptions{TargetMean: cfg.DecodeMean, TargetStd: cfg.DecodeStd}
-		if opt.TargetMean == 0 {
-			opt.TargetMean = 128
-		}
-		if opt.TargetStd == 0 {
-			if cfg.WindowLen > 0 {
-				opt.TargetStd = (res.Plan.Window.Lo + res.Plan.Window.Hi) / 2
-			} else {
-				opt.TargetStd = 50
-			}
-		}
-		for _, pg := range res.Plan.Groups {
-			if len(pg.Images) == 0 {
-				continue
-			}
-			score, recon := attack.BestPolarityDecode(pg, groups[pg.GroupIndex], res.Plan.ImageGeom, opt)
-			res.PerGroup = append(res.PerGroup, score)
-			res.Recon = append(res.Recon, recon...)
-		}
-		res.Score = attack.ScoreReconstructions(res.Plan.AllImages(), res.Recon)
-		logf("extracted: %s", res.Score)
-	}
-	return res
+	return p.res
 }
 
 // uniformPlanOverActive builds the vanilla Eq 1 style plan: every active
@@ -374,11 +279,4 @@ func targetCorrelatedQuantize(m *nn.Model, groups []nn.LayerGroup, plan *attack.
 		a.QuantizePerLayer(rest, quantize.WeightedEntropy{}, levels)
 	}
 	return a
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

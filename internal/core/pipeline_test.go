@@ -1,0 +1,289 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/artifact"
+	"repro/internal/nn"
+)
+
+// cachedCfg is the proposed malicious flow on the small fixtures, the
+// config that exercises every stage of the graph.
+func cachedCfg(seed int64) Config {
+	cfg := fastCfg(smallData(false, seed), smallModel(1))
+	cfg.GroupBounds = []int{4, 6}
+	cfg.Lambdas = []float64{0, 0, 10}
+	cfg.WindowLen = 5
+	cfg.Quant = QuantTargetCorrelated
+	cfg.Bits = 4
+	cfg.FineTuneEpochs = 1
+	cfg.KeepRegDuringFineTune = true
+	return cfg
+}
+
+func openStore(t *testing.T) *artifact.Store {
+	t.Helper()
+	st, err := artifact.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func flatParams(m *nn.Model) []float64 {
+	var flat []float64
+	for _, p := range m.Params() {
+		flat = append(flat, p.Value.Data()...)
+	}
+	return flat
+}
+
+func sameResult(t *testing.T, a, b *Result) {
+	t.Helper()
+	aw, bw := flatParams(a.Model), flatParams(b.Model)
+	if len(aw) != len(bw) {
+		t.Fatalf("param counts differ: %d vs %d", len(aw), len(bw))
+	}
+	for i := range aw {
+		if aw[i] != bw[i] {
+			t.Fatalf("released weight[%d] differs: %v vs %v", i, aw[i], bw[i])
+		}
+	}
+	if a.TrainAcc != b.TrainAcc || a.TestAcc != b.TestAcc || a.PreQuantTestAcc != b.PreQuantTestAcc {
+		t.Fatalf("accuracies differ: %+v vs %+v", a, b)
+	}
+	if a.Score.N != b.Score.N || a.Score.MeanMAPE != b.Score.MeanMAPE {
+		t.Fatalf("scores differ: %v vs %v", a.Score, b.Score)
+	}
+	if len(a.Recon) != len(b.Recon) {
+		t.Fatalf("recon counts differ: %d vs %d", len(a.Recon), len(b.Recon))
+	}
+	for i := range a.Recon {
+		for j := range a.Recon[i].Pix {
+			if a.Recon[i].Pix[j] != b.Recon[i].Pix[j] {
+				t.Fatalf("recon %d pixel %d differs", i, j)
+			}
+		}
+	}
+}
+
+// TestPipelineWarmRunMatchesColdAndSkipsWork is the heart of the caching
+// contract: a second run over the same store returns bit-identical results
+// while every cacheable stage hits (no retraining, no requantizing, no
+// re-extraction).
+func TestPipelineWarmRunMatchesColdAndSkipsWork(t *testing.T) {
+	store := openStore(t)
+
+	cfg := cachedCfg(41)
+	cfg.Cache = store
+	var coldLog bytes.Buffer
+	cfg.Log = &coldLog
+	cold := Run(cfg)
+	if strings.Contains(coldLog.String(), "cache: train hit") {
+		t.Fatal("cold run claims a cache hit")
+	}
+	coldStats := store.Stats()
+	if coldStats.WriteBytes == 0 {
+		t.Fatal("cold run persisted nothing")
+	}
+
+	cfg2 := cachedCfg(41)
+	cfg2.Cache = store
+	var warmLog bytes.Buffer
+	cfg2.Log = &warmLog
+	warm := Run(cfg2)
+	sameResult(t, cold, warm)
+
+	logs := warmLog.String()
+	for _, stage := range []string{"preprocess", "train", "quantize", "finetune", "extract"} {
+		if !strings.Contains(logs, "cache: "+stage+" hit") {
+			t.Fatalf("warm run did not hit %s stage:\n%s", stage, logs)
+		}
+	}
+	// No training epochs ran on the warm path (the trainer logs one line
+	// per epoch when a Log writer is attached).
+	if strings.Contains(logs, "epoch ") {
+		t.Fatalf("warm run still trained:\n%s", logs)
+	}
+	warmStats := store.Stats()
+	if warmStats.Hits < coldStats.Hits+5 {
+		t.Fatalf("warm run hits %d, want at least 5 more than cold's %d", warmStats.Hits, coldStats.Hits)
+	}
+	if warmStats.WriteBytes != coldStats.WriteBytes {
+		t.Fatal("warm run rewrote artifacts")
+	}
+}
+
+// TestPipelineUncachedMatchesCached pins that attaching a store does not
+// change results: the same config with and without a cache produces
+// bit-identical outputs (the graph refactor preserves the monolithic
+// flow's behavior exactly).
+func TestPipelineUncachedMatchesCached(t *testing.T) {
+	plain := Run(cachedCfg(42))
+	cfg := cachedCfg(42)
+	cfg.Cache = openStore(t)
+	cached := Run(cfg)
+	sameResult(t, plain, cached)
+}
+
+// TestPipelineSharedTrainingPrefix: two configs that differ only
+// downstream of training (here: codebook bit width) share the split →
+// preprocess → train prefix, so the second run reuses the trained model
+// and only recomputes quantization onward.
+func TestPipelineSharedTrainingPrefix(t *testing.T) {
+	store := openStore(t)
+	base := func(bits int) Config {
+		cfg := cachedCfg(43)
+		cfg.Quant = QuantWEQ
+		cfg.KeepRegDuringFineTune = false
+		cfg.Bits = bits
+		cfg.Cache = store
+		return cfg
+	}
+	Run(base(2))
+
+	cfg := base(3)
+	var log bytes.Buffer
+	cfg.Log = &log
+	Run(cfg)
+	logs := log.String()
+	if !strings.Contains(logs, "cache: train hit") {
+		t.Fatalf("bit-width sweep retrained:\n%s", logs)
+	}
+	if !strings.Contains(logs, "cache: preprocess hit") {
+		t.Fatalf("bit-width sweep rebuilt the plan:\n%s", logs)
+	}
+	if strings.Contains(logs, "cache: quantize hit") {
+		t.Fatalf("different bit width must not reuse quantization:\n%s", logs)
+	}
+}
+
+// TestPipelineSelfHealsCorruptArtifact: a flipped byte in a cached
+// artifact must not poison the run — the stage detects the damage,
+// evicts, recomputes, and the results match a clean run.
+func TestPipelineSelfHealsCorruptArtifact(t *testing.T) {
+	store := openStore(t)
+	cfg := cachedCfg(44)
+	cfg.Cache = store
+	cold := Run(cfg)
+
+	// Corrupt every report artifact's header. (A header flip is always
+	// detectable; a mid-payload gob flip may legally decode to different
+	// values, which is the codecs' documented limit, not the store's.)
+	pattern := filepath.Join(store.Root(), "report", "*", "*.bin")
+	matches, err := filepath.Glob(pattern)
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no report artifacts found (%v): %v", pattern, err)
+	}
+	for _, path := range matches {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[0] ^= 0xff
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cfg2 := cachedCfg(44)
+	cfg2.Cache = store
+	var log bytes.Buffer
+	cfg2.Log = &log
+	warm := Run(cfg2)
+	if !strings.Contains(log.String(), "cache: extract artifact unusable") {
+		t.Fatalf("corruption not detected:\n%s", log.String())
+	}
+	sameResult(t, cold, warm)
+
+	// The evicted artifact was rebuilt: a third run hits again.
+	cfg3 := cachedCfg(44)
+	cfg3.Cache = store
+	var log3 bytes.Buffer
+	cfg3.Log = &log3
+	Run(cfg3)
+	if !strings.Contains(log3.String(), "cache: extract hit") {
+		t.Fatalf("rebuilt artifact not reused:\n%s", log3.String())
+	}
+}
+
+// TestPipelineResumeFromEpochCheckpoint simulates an interrupted training
+// run: epoch checkpoints exist in the store but the full train artifact
+// does not. With Resume set, the run continues from the latest checkpoint
+// and lands on bit-identical weights.
+func TestPipelineResumeFromEpochCheckpoint(t *testing.T) {
+	store := openStore(t)
+	mk := func() Config {
+		cfg := fastCfg(smallData(false, 45), smallModel(1))
+		cfg.Epochs = 4
+		cfg.Cache = store
+		cfg.CheckpointEvery = 2
+		return cfg
+	}
+	cold := Run(mk())
+
+	// "Crash": the completed-run artifact vanishes, the mid-run epoch
+	// checkpoints survive.
+	for _, kind := range []string{"model-state"} {
+		matches, err := filepath.Glob(filepath.Join(store.Root(), kind, "*", "*.bin"))
+		if err != nil || len(matches) == 0 {
+			t.Fatalf("no %s artifacts (%v)", kind, err)
+		}
+		for _, path := range matches {
+			if err := os.Remove(path); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if eps, _ := filepath.Glob(filepath.Join(store.Root(), "epoch-checkpoint", "*", "*.bin")); len(eps) == 0 {
+		t.Fatal("no epoch checkpoints were written")
+	}
+
+	cfg := mk()
+	cfg.Resume = true
+	var log bytes.Buffer
+	cfg.Log = &log
+	resumed := Run(cfg)
+	if !strings.Contains(log.String(), "cache: resuming training from epoch 2/4") {
+		t.Fatalf("did not resume from the epoch checkpoint:\n%s", log.String())
+	}
+	sameResult(t, cold, resumed)
+
+	// Without Resume, the same situation retrains from scratch — and
+	// still matches (determinism).
+	for _, path := range mustGlob(t, filepath.Join(store.Root(), "model-state", "*", "*.bin")) {
+		if err := os.Remove(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fresh := Run(mk())
+	sameResult(t, cold, fresh)
+}
+
+func mustGlob(t *testing.T, pattern string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return matches
+}
+
+// TestPipelineCacheRejectsBuilder: a closure-built model has no canonical
+// identity, so caching it must fail loudly instead of serving wrong
+// artifacts.
+func TestPipelineCacheRejectsBuilder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	cfg := fastCfg(smallData(false, 46), smallModel(1))
+	cfg.Builder = func() *nn.Model { return nn.NewResNet(smallModel(1)) }
+	cfg.Cache = openStore(t)
+	Run(cfg)
+}

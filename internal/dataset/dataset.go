@@ -8,6 +8,9 @@
 package dataset
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"math"
 
@@ -30,6 +33,33 @@ type Dataset struct {
 
 // Len returns the number of samples.
 func (d *Dataset) Len() int { return len(d.Images) }
+
+// ContentDigest returns a hex SHA-256 over the dataset's geometry, labels,
+// and exact pixel bits, in sample order. Two datasets with the same digest
+// drive every downstream stage identically, which is what the pipeline
+// cache keys on (the Name is deliberately excluded — renaming a dataset
+// must not invalidate cached work).
+func (d *Dataset) ContentDigest() string {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeInt(d.Classes)
+	writeInt(d.C)
+	writeInt(d.H)
+	writeInt(d.W)
+	writeInt(len(d.Images))
+	for i, im := range d.Images {
+		writeInt(d.Labels[i])
+		for _, p := range im.Pix {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(p))
+			h.Write(buf[:])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
 
 // Split partitions the dataset into train and test subsets, assigning every
 // k-th sample *of each class* to test so class balance is preserved

@@ -276,3 +276,49 @@ func stdOf(v []float64) float64 {
 	}
 	return math.Sqrt(ss / float64(len(v)))
 }
+
+// TestSplitDeterministic pins the property the pipeline cache relies on:
+// regenerating a dataset from the same seed and splitting it again yields
+// bit-identical train/test subsets (same membership, same order, same
+// pixels), so a split's cache key can be derived from the source dataset's
+// content digest alone.
+func TestSplitDeterministic(t *testing.T) {
+	mk := func() (*Dataset, *Dataset) {
+		return SyntheticCIFAR(DefaultCIFAR(240, false, 9)).Split(0.2)
+	}
+	tr1, te1 := mk()
+	tr2, te2 := mk()
+	check := func(a, b *Dataset) {
+		t.Helper()
+		if a.Len() != b.Len() {
+			t.Fatalf("sizes differ: %d vs %d", a.Len(), b.Len())
+		}
+		if a.ContentDigest() != b.ContentDigest() {
+			t.Fatal("same seed produced different split content")
+		}
+	}
+	check(tr1, tr2)
+	check(te1, te2)
+	if tr1.ContentDigest() == te1.ContentDigest() {
+		t.Fatal("train and test digests collide")
+	}
+	// A different seed must change the digest (sensitivity check).
+	tr3, _ := SyntheticCIFAR(DefaultCIFAR(240, false, 10)).Split(0.2)
+	if tr3.ContentDigest() == tr1.ContentDigest() {
+		t.Fatal("different seeds produced identical digests")
+	}
+}
+
+func TestContentDigestIgnoresName(t *testing.T) {
+	d := SyntheticCIFAR(DefaultCIFAR(40, false, 3))
+	want := d.ContentDigest()
+	d.Name = "renamed"
+	if d.ContentDigest() != want {
+		t.Fatal("digest depends on dataset name")
+	}
+	// But flipping one pixel must change it.
+	d.Images[7].Pix[0] += 1
+	if d.ContentDigest() == want {
+		t.Fatal("digest ignores pixel content")
+	}
+}

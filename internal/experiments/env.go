@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/nn"
@@ -36,6 +37,15 @@ type Env struct {
 	// Trace, when non-nil, receives phase spans from every core.Run the
 	// experiments execute (see core.Config.Trace).
 	Trace *obs.Tracer
+	// Cache, when non-nil, runs every pipeline through the persistent
+	// artifact store (see core.Config.Cache), so sweeps that share a
+	// training prefix compute it once and repeat invocations reuse
+	// results across processes — the in-memory memoizer only covers one
+	// process.
+	Cache *artifact.Store
+	// Resume, when true and Cache is set, lets interrupted training runs
+	// continue from their latest epoch checkpoint.
+	Resume bool
 
 	cache map[string]*core.Result
 	data  map[string]*dataset.Dataset
@@ -66,6 +76,8 @@ func (e *Env) run(key string, cfg core.Config) *core.Result {
 		cfg.Log = e.Log
 	}
 	cfg.Trace = e.Trace
+	cfg.Cache = e.Cache
+	cfg.Resume = e.Resume
 	r := core.Run(cfg)
 	e.cache[key] = r
 	return r

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"path/filepath"
+	"sort"
 
 	"repro/internal/attack"
 	"repro/internal/core"
@@ -96,7 +97,13 @@ func Fig2(e *Env) Fig2Result {
 		report.Histogram(w, rr.label, h.Freq, h.Lo, h.Hi, 6)
 	}
 	fmt.Fprintln(w, "Fig 2b: pixel distributions by std band (64 bins over [0,255])")
-	for label, h := range res.PixelHists {
+	bandLabels := make([]string, 0, len(res.PixelHists))
+	for label := range res.PixelHists {
+		bandLabels = append(bandLabels, label)
+	}
+	sort.Strings(bandLabels)
+	for _, label := range bandLabels {
+		h := res.PixelHists[label]
 		report.Histogram(w, label, h.Freq, h.Lo, h.Hi, 6)
 	}
 	labels := make([]string, 0, len(runs))

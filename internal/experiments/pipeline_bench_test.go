@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/obs"
+)
+
+// emitPipelineBench, when set to a path, makes TestEmitPipelineBench run
+// the quantizer ablation cold (empty artifact store) and then warm (fresh
+// process-level state, same store) and write the timings plus cache
+// traffic there as JSON. Wired to `make pipeline-bench`; empty (the
+// default) skips the test so the regular suite stays fast.
+var emitPipelineBench = flag.String("emit-bench", "", "write pipeline cache cold/warm numbers (BENCH_pipeline.json) to this path")
+
+type pipelineBenchReport struct {
+	ColdSeconds float64 `json:"cold_seconds"`
+	WarmSeconds float64 `json:"warm_seconds"`
+	Speedup     float64 `json:"speedup"`
+
+	// Stage-level cache outcomes per phase. The cold run starts from an
+	// empty store but still hits on its later variants (the ablation's
+	// configs share their split → preprocess → train prefix); the warm
+	// run must be all hits.
+	ColdStageHits   int64 `json:"cold_stage_hits"`
+	ColdStageMisses int64 `json:"cold_stage_misses"`
+	WarmStageHits   int64 `json:"warm_stage_hits"`
+	WarmStageMisses int64 `json:"warm_stage_misses"`
+	// WarmTrainHits counts warm-run train-stage cache hits — the direct
+	// evidence that no model was retrained.
+	WarmTrainHits    int64 `json:"warm_train_hits"`
+	WarmTrainEpochs  int64 `json:"warm_train_epochs"`
+	StoreWriteBytes  int64 `json:"store_write_bytes"`
+	StoreReadBytes   int64 `json:"store_read_bytes"`
+	StoreArtifactOps int64 `json:"store_hits_plus_misses"`
+}
+
+func counterValue(name string) int64 {
+	return obs.Default.Counter(name).Value()
+}
+
+// TestEmitPipelineBench measures what the artifact store buys: the same
+// experiment sweep run cold (everything computed and persisted) and warm
+// (every stage served from the store). The warm run must not train a
+// single epoch.
+func TestEmitPipelineBench(t *testing.T) {
+	if *emitPipelineBench == "" {
+		t.Skip("pass -emit-bench=<path> (make pipeline-bench) to measure pipeline caching")
+	}
+	dir := t.TempDir()
+	obs.Enable(true)
+	defer func() {
+		obs.Enable(false)
+		obs.Default.Reset()
+	}()
+	obs.Default.Reset()
+
+	runOnce := func() float64 {
+		store, err := artifact.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A fresh Env per phase: the in-process memoizer must not mask
+		// the store (cross-process reuse is exactly what is measured).
+		env := NewEnv(1, true, io.Discard)
+		env.Cache = store
+		startAt := time.Now()
+		AblationQuantizer(env)
+		return time.Since(startAt).Seconds()
+	}
+
+	cold := runOnce()
+	rep := pipelineBenchReport{
+		ColdSeconds:     cold,
+		ColdStageHits:   counterValue("pipeline_cache_hits_total"),
+		ColdStageMisses: counterValue("pipeline_cache_misses_total"),
+	}
+	epochsBeforeWarm := counterValue("train_epochs_total")
+
+	warm := runOnce()
+	rep.WarmSeconds = warm
+	rep.WarmStageHits = counterValue("pipeline_cache_hits_total") - rep.ColdStageHits
+	rep.WarmStageMisses = counterValue("pipeline_cache_misses_total") - rep.ColdStageMisses
+	rep.WarmTrainHits = counterValue(`pipeline_cache_hits_total{stage="train"}`)
+	rep.WarmTrainEpochs = counterValue("train_epochs_total") - epochsBeforeWarm
+	if warm > 0 {
+		rep.Speedup = cold / warm
+	}
+
+	rep.StoreWriteBytes = counterValue("artifact_cache_write_bytes_total")
+	rep.StoreReadBytes = counterValue("artifact_cache_read_bytes_total")
+	rep.StoreArtifactOps = counterValue("artifact_cache_hits_total") + counterValue("artifact_cache_misses_total")
+
+	t.Logf("cold %.2fs (%d misses), warm %.2fs (%d hits, %d misses, %d train epochs)",
+		cold, rep.ColdStageMisses, warm, rep.WarmStageHits, rep.WarmStageMisses, rep.WarmTrainEpochs)
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*emitPipelineBench, append(raw, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", *emitPipelineBench)
+
+	if rep.WarmTrainEpochs != 0 {
+		t.Fatalf("warm run trained %d epochs; training stages were not served from cache", rep.WarmTrainEpochs)
+	}
+	if rep.WarmStageMisses != 0 {
+		t.Fatalf("warm run missed %d stages; expected full reuse", rep.WarmStageMisses)
+	}
+	if rep.WarmTrainHits == 0 {
+		t.Fatal("no train-stage cache hits recorded on the warm run")
+	}
+}

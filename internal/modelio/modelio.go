@@ -32,6 +32,16 @@ const magic = "DACMRM1\n"
 // ErrBadMagic reports that a stream is not a released model file.
 var ErrBadMagic = errors.New("modelio: bad magic (not a released model file)")
 
+// gob numbers stream types from a process-global counter in first-use
+// order, so a ReleasedModel encoded after other gob traffic (the artifact
+// codecs, say) would carry different framing bytes than one encoded first,
+// breaking byte-reproducibility of released files and splintering
+// digest-keyed caches. Encoding a zero value at init assigns the IDs for
+// the whole type closure before any runtime gob use can shift them.
+func init() {
+	_ = gob.NewEncoder(io.Discard).Encode(&ReleasedModel{})
+}
+
 // ParamBlob is one full-precision parameter tensor.
 type ParamBlob struct {
 	Name   string
@@ -355,22 +365,15 @@ func codebookFromLevels(levels []float64) quantize.Codebook {
 
 // collectBN walks the layer tree and captures batch-norm running stats.
 func collectBN(l nn.Layer, out *[]BNBlob) {
-	switch v := l.(type) {
-	case *nn.BatchNorm2D:
-		*out = append(*out, BNBlob{
-			Name:    v.Name(),
-			RunMean: append([]float64(nil), v.RunMean...),
-			RunVar:  append([]float64(nil), v.RunVar...),
-		})
-	case *nn.Sequential:
-		for _, child := range v.Layers {
-			collectBN(child, out)
+	nn.Walk(l, func(child nn.Layer) {
+		if bn, ok := child.(*nn.BatchNorm2D); ok {
+			*out = append(*out, BNBlob{
+				Name:    bn.Name(),
+				RunMean: append([]float64(nil), bn.RunMean...),
+				RunVar:  append([]float64(nil), bn.RunVar...),
+			})
 		}
-	case *nn.Residual:
-		for _, child := range v.Children() {
-			collectBN(child, out)
-		}
-	}
+	})
 }
 
 // restoreBN writes captured running stats back into the model.
@@ -379,33 +382,23 @@ func restoreBN(l nn.Layer, blobs []BNBlob) error {
 	for _, b := range blobs {
 		byName[b.Name] = b
 	}
-	var apply func(nn.Layer) error
-	apply = func(l nn.Layer) error {
-		switch v := l.(type) {
-		case *nn.BatchNorm2D:
-			b, ok := byName[v.Name()]
-			if !ok {
-				return fmt.Errorf("modelio: missing batch-norm stats for %q", v.Name())
-			}
-			if len(b.RunMean) != len(v.RunMean) {
-				return fmt.Errorf("modelio: batch-norm %q channel mismatch", v.Name())
-			}
-			copy(v.RunMean, b.RunMean)
-			copy(v.RunVar, b.RunVar)
-		case *nn.Sequential:
-			for _, child := range v.Layers {
-				if err := apply(child); err != nil {
-					return err
-				}
-			}
-		case *nn.Residual:
-			for _, child := range v.Children() {
-				if err := apply(child); err != nil {
-					return err
-				}
-			}
+	var firstErr error
+	nn.Walk(l, func(child nn.Layer) {
+		bn, ok := child.(*nn.BatchNorm2D)
+		if !ok || firstErr != nil {
+			return
 		}
-		return nil
-	}
-	return apply(l)
+		b, ok := byName[bn.Name()]
+		if !ok {
+			firstErr = fmt.Errorf("modelio: missing batch-norm stats for %q", bn.Name())
+			return
+		}
+		if len(b.RunMean) != len(bn.RunMean) {
+			firstErr = fmt.Errorf("modelio: batch-norm %q channel mismatch", bn.Name())
+			return
+		}
+		copy(bn.RunMean, b.RunMean)
+		copy(bn.RunVar, b.RunVar)
+	})
+	return firstErr
 }

@@ -74,3 +74,21 @@ func (s *Sequential) Params() []*Param {
 	}
 	return ps
 }
+
+// Walk visits l and every layer nested below it in forward order,
+// descending into Sequential and Residual containers. Serialization code
+// (model export, training checkpoints) uses it to reach per-layer state
+// that is not a Param, like batch-norm running statistics.
+func Walk(l Layer, visit func(Layer)) {
+	visit(l)
+	switch v := l.(type) {
+	case *Sequential:
+		for _, child := range v.Layers {
+			Walk(child, visit)
+		}
+	case *Residual:
+		for _, child := range v.Children() {
+			Walk(child, visit)
+		}
+	}
+}

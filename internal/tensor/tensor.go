@@ -193,10 +193,3 @@ func (t *Tensor) IsFinite() bool {
 	}
 	return true
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -4,6 +4,7 @@
 package train
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/nn"
@@ -19,6 +20,88 @@ type Optimizer interface {
 	SetLR(lr float64)
 	// LR returns the current learning rate.
 	LR() float64
+}
+
+// StatefulOptimizer is implemented by optimizers whose update rule carries
+// state across steps (momentum velocities, Adam moments). Checkpointing
+// uses it so a resumed run continues the exact update sequence an
+// uninterrupted run would have produced — momentum history included.
+type StatefulOptimizer interface {
+	Optimizer
+	// ExportState snapshots the optimizer's per-parameter state, keyed by
+	// parameter name so it survives serialization.
+	ExportState(params []*nn.Param) OptimizerState
+	// ImportState restores a snapshot produced by ExportState onto the
+	// given (freshly built) parameters.
+	ImportState(params []*nn.Param, st OptimizerState) error
+}
+
+// OptimizerState is the serializable state of a StatefulOptimizer.
+type OptimizerState struct {
+	// Kind names the optimizer ("sgd", "adam"); ImportState rejects a
+	// state captured from a different kind.
+	Kind string
+	// Step is the global step counter (Adam's bias-correction t).
+	Step int
+	// Slots hold one named state vector set each ("velocity", "m", "v").
+	Slots []StateSlot
+}
+
+// StateSlot is one named per-parameter state vector set.
+type StateSlot struct {
+	Name    string
+	ByParam []ValuesBlob
+}
+
+// slot returns the named slot, or nil.
+func (st OptimizerState) slot(name string) *StateSlot {
+	for i := range st.Slots {
+		if st.Slots[i].Name == name {
+			return &st.Slots[i]
+		}
+	}
+	return nil
+}
+
+// exportVecs captures a param-keyed tensor map as a named slot, in params
+// order for determinism. Params without an entry (never stepped) are
+// skipped and restore as absent, exactly as they were.
+func exportVecs(name string, params []*nn.Param, vecs map[*nn.Param]*tensor.Tensor) StateSlot {
+	slot := StateSlot{Name: name}
+	for _, p := range params {
+		if v, ok := vecs[p]; ok {
+			slot.ByParam = append(slot.ByParam, ValuesBlob{
+				Name:   p.Name,
+				Values: append([]float64(nil), v.Data()...),
+			})
+		}
+	}
+	return slot
+}
+
+// importVecs restores a slot into a param-keyed tensor map.
+func importVecs(slot *StateSlot, params []*nn.Param, vecs map[*nn.Param]*tensor.Tensor) error {
+	if slot == nil {
+		return nil
+	}
+	byName := make(map[string]*nn.Param, len(params))
+	for _, p := range params {
+		byName[p.Name] = p
+	}
+	for _, blob := range slot.ByParam {
+		p, ok := byName[blob.Name]
+		if !ok {
+			return fmt.Errorf("train: optimizer state for unknown parameter %q", blob.Name)
+		}
+		if p.NumEl() != len(blob.Values) {
+			return fmt.Errorf("train: optimizer state for %q has %d values, parameter has %d",
+				blob.Name, len(blob.Values), p.NumEl())
+		}
+		v := tensor.New(p.Value.Shape()...)
+		copy(v.Data(), blob.Values)
+		vecs[p] = v
+	}
+	return nil
 }
 
 // SGD is stochastic gradient descent with optional momentum and decoupled
@@ -62,6 +145,20 @@ func (s *SGD) SetLR(lr float64) { s.lr = lr }
 
 // LR implements Optimizer.
 func (s *SGD) LR() float64 { return s.lr }
+
+// ExportState implements StatefulOptimizer (momentum velocities).
+func (s *SGD) ExportState(params []*nn.Param) OptimizerState {
+	return OptimizerState{Kind: "sgd", Slots: []StateSlot{exportVecs("velocity", params, s.velocity)}}
+}
+
+// ImportState implements StatefulOptimizer.
+func (s *SGD) ImportState(params []*nn.Param, st OptimizerState) error {
+	if st.Kind != "sgd" {
+		return fmt.Errorf("train: cannot restore %q state into SGD", st.Kind)
+	}
+	s.velocity = make(map[*nn.Param]*tensor.Tensor)
+	return importVecs(st.slot("velocity"), params, s.velocity)
+}
 
 // Adam is the Adam optimizer (Kingma & Ba) with bias correction.
 type Adam struct {
@@ -115,6 +212,28 @@ func (a *Adam) SetLR(lr float64) { a.lr = lr }
 
 // LR implements Optimizer.
 func (a *Adam) LR() float64 { return a.lr }
+
+// ExportState implements StatefulOptimizer (first/second moments + step).
+func (a *Adam) ExportState(params []*nn.Param) OptimizerState {
+	return OptimizerState{Kind: "adam", Step: a.t, Slots: []StateSlot{
+		exportVecs("m", params, a.m),
+		exportVecs("v", params, a.v),
+	}}
+}
+
+// ImportState implements StatefulOptimizer.
+func (a *Adam) ImportState(params []*nn.Param, st OptimizerState) error {
+	if st.Kind != "adam" {
+		return fmt.Errorf("train: cannot restore %q state into Adam", st.Kind)
+	}
+	a.t = st.Step
+	a.m = make(map[*nn.Param]*tensor.Tensor)
+	a.v = make(map[*nn.Param]*tensor.Tensor)
+	if err := importVecs(st.slot("m"), params, a.m); err != nil {
+		return err
+	}
+	return importVecs(st.slot("v"), params, a.v)
+}
 
 // StepDecay returns a schedule that multiplies the base LR by factor every
 // `every` epochs.

@@ -63,6 +63,23 @@ type Config struct {
 	// most this value before each step (keeps the correlation penalty
 	// from destabilizing early epochs).
 	ClipNorm float64
+	// Resume, when non-nil, continues a run from the checkpoint instead
+	// of starting fresh: parameters, batch-norm running statistics, and
+	// optimizer state are restored, the shuffle RNG is fast-forwarded by
+	// the checkpoint's epoch cursor, and the loop starts at epoch
+	// Resume.Epoch. Everything else in the Config (Seed, Epochs, LR,
+	// Schedule, ...) must match the original run; the result is then
+	// bit-identical to an uninterrupted run, which
+	// TestResumeBitIdenticalToUninterrupted pins.
+	Resume *Checkpoint
+	// CheckpointEvery, when positive and Checkpoint is set, captures a
+	// snapshot after every k-th completed epoch (except the last, whose
+	// state the caller already has in the model itself).
+	CheckpointEvery int
+	// Checkpoint receives mid-training snapshots. The hook owns error
+	// handling (a failed checkpoint write must not kill the run it
+	// exists to protect).
+	Checkpoint func(*Checkpoint)
 }
 
 // EpochStats summarizes one training epoch.
@@ -128,7 +145,22 @@ func Run(m *nn.Model, x *tensor.Tensor, y []int, cfg Config) Result {
 	by := make([]int, cfg.BatchSize)
 
 	var res Result
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	start := 0
+	if cfg.Resume != nil {
+		if err := cfg.Resume.Restore(m, cfg.Optimizer); err != nil {
+			panic(fmt.Sprintf("train: resume: %v", err))
+		}
+		start = cfg.Resume.Epoch
+		res.Epochs = append(res.Epochs, cfg.Resume.Stats...)
+		// Advance the RNG to the checkpoint's cursor: the loop's only
+		// randomness is one shuffle per epoch, so replaying the completed
+		// epochs' shuffles leaves perm and the stream exactly where the
+		// uninterrupted run had them.
+		for e := 0; e < start; e++ {
+			rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		}
+	}
+	for epoch := start; epoch < cfg.Epochs; epoch++ {
 		// Timing is re-checked per epoch so flipping obs.Enable mid-run
 		// (e.g. from a signal handler) takes effect at the next epoch.
 		timed := cfg.Trace != nil || obs.Enabled()
@@ -202,6 +234,10 @@ func Run(m *nn.Model, x *tensor.Tensor, y []int, cfg Config) Result {
 		res.Epochs = append(res.Epochs, st)
 		if cfg.Log != nil {
 			cfg.Log(st)
+		}
+		if cfg.Checkpoint != nil && cfg.CheckpointEvery > 0 &&
+			(epoch+1)%cfg.CheckpointEvery == 0 && epoch+1 < cfg.Epochs {
+			cfg.Checkpoint(Capture(m, cfg.Optimizer, epoch+1, res.Epochs))
 		}
 	}
 	return res
