@@ -10,9 +10,11 @@ check:
 race:
 	go test -race -timeout 60m ./...
 
-# Fast race gate over the concurrent packages only.
+# Fast race gate over the concurrent packages only. internal/quantize is
+# here for the codebook-native eval tests, which forward through the worker
+# pool at several thread counts.
 race-fast:
-	go test -race ./internal/compute/ ./internal/nn/ ./internal/train/ ./internal/serve/ ./internal/obs/
+	go test -race ./internal/compute/ ./internal/nn/ ./internal/train/ ./internal/serve/ ./internal/obs/ ./internal/quantize/
 
 vet:
 	go vet ./...
@@ -29,6 +31,18 @@ serve-bench:
 	go test ./internal/serve/ -run '^TestEmitServeBench$$' -count=1 -v -args -emit-bench=$(CURDIR)/BENCH_serve.json
 	go test ./internal/serve/ -run '^$$' -bench ServePredict
 
+# Blocked-vs-naive matmul kernel sweep written to BENCH_kernels.json. The
+# kernels are bit-identical by construction (the tests enforce it); this
+# records what the blocking buys.
+kernels-bench:
+	go test ./internal/tensor/ -run '^TestEmitKernelsBench$$' -count=1 -v -args -emit-bench=$(CURDIR)/BENCH_kernels.json
+
+# Codebook-native vs dequantized serving of the same quantized release
+# written to BENCH_serve_quant.json; fails unless native holds strictly
+# fewer resident model bytes at no throughput cost (max_batch=8).
+serve-quant-bench:
+	go test ./internal/serve/ -run '^TestEmitServeQuantBench$$' -count=1 -v -timeout 20m -args -emit-quant-bench=$(CURDIR)/BENCH_serve_quant.json
+
 # Observability overhead guard: instrumented-vs-uninstrumented forward pass
 # written to BENCH_obs.json; fails if enabling obs costs more than 2%.
 obs-bench:
@@ -41,4 +55,4 @@ obs-bench:
 pipeline-bench:
 	go test ./internal/experiments/ -run '^TestEmitPipelineBench$$' -count=1 -v -args -emit-bench=$(CURDIR)/BENCH_pipeline.json
 
-.PHONY: check race race-fast vet bench serve-bench obs-bench pipeline-bench
+.PHONY: check race race-fast vet bench serve-bench kernels-bench serve-quant-bench obs-bench pipeline-bench

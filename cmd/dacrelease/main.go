@@ -7,7 +7,11 @@
 //
 // With -truth, the ground-truth encoding targets are also saved as PGM
 // files so the extraction can be scored afterwards (evaluation aid only;
-// the adversary never sees them).
+// the adversary never sees them). With -quantized-out, the bare
+// quantization record (codebooks plus per-weight indices, DACQAP1) is also
+// written next to the release — the standalone artifact quantization
+// tooling consumes; it is not servable on its own (dacserve skips it) since
+// it carries no architecture or batch-norm state.
 package main
 
 import (
@@ -21,10 +25,12 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/modelio"
 	"repro/internal/obs"
+	"repro/internal/quantize"
 )
 
 func main() {
 	modelPath := flag.String("model", "released.bin", "output model file")
+	quantOut := flag.String("quantized-out", "", "optional path for the bare quantization record (DACQAP1: codebooks + indices, no architecture)")
 	truthDir := flag.String("truth", "", "optional directory for ground-truth target PGMs")
 	lambda := flag.Float64("lambda", 10, "correlation rate for the encoding group")
 	bits := flag.Int("bits", 4, "quantization bit width")
@@ -84,6 +90,16 @@ func main() {
 	fmt.Printf("storage: %d bytes (%.1fx smaller than raw %d bytes)\n",
 		size.TotalBytes(), size.Ratio(), size.RawBytes)
 
+	if *quantOut != "" {
+		if res.Applied == nil {
+			fatal(fmt.Errorf("-quantized-out: run produced no quantization record"))
+		}
+		if err := writeQuantRecord(*quantOut, res.Applied); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote quantization record to %s\n", *quantOut)
+	}
+
 	if *truthDir != "" {
 		if err := os.MkdirAll(*truthDir, 0o755); err != nil {
 			fatal(err)
@@ -96,6 +112,20 @@ func main() {
 		}
 		fmt.Printf("wrote %d ground-truth targets to %s\n", res.Plan.TotalImages(), *truthDir)
 	}
+}
+
+// writeQuantRecord encodes the run's quantization state as a standalone
+// DACQAP1 file next to the release.
+func writeQuantRecord(path string, a *quantize.Applied) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := quantize.EncodeApplied(f, quantize.Snapshot(a)); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeTrace renders the span-tree timing report to path ("-" = stderr).

@@ -10,6 +10,14 @@
 //	curl -X POST localhost:8080/v1/models/prod:audit
 //	curl localhost:8080/metricsz        # Prometheus text exposition
 //
+// -models dir sniffs every file in dir by magic header and serves each
+// released model under its file name (extension stripped); non-model files
+// and bare quantization records are reported and skipped, so one directory
+// can mix full-precision and quantized releases. -native serves quantized
+// releases codebook-native: forward passes read the released codebooks and
+// uint8 indices through LUT kernels instead of materialized float weights —
+// bit-identical predictions, strictly lower resident memory.
+//
 // -pprof additionally exposes net/http/pprof under /debug/pprof/, and -obs
 // turns on the deep runtime instrumentation (compute pool timings).
 //
@@ -54,6 +62,8 @@ func main() {
 	preset := core.CIFARRelease()
 	var models modelFlags
 	flag.Var(&models, "model", "model to serve as name=path (repeatable)")
+	modelsDir := flag.String("models", "", "directory of released models; files are sniffed by header, served under file name minus extension")
+	native := flag.Bool("native", false, "serve quantized releases codebook-native (LUT kernels over released indices; bit-identical, lower resident memory)")
 	listen := flag.String("listen", ":8080", "HTTP listen address")
 	maxBatch := flag.Int("max-batch", 16, "max requests coalesced into one forward pass")
 	queue := flag.Int("queue", 256, "per-model request queue depth (backpressure bound)")
@@ -63,8 +73,8 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (opt-in)")
 	obsOn := flag.Bool("obs", false, "enable deep runtime instrumentation (compute pool timings) in /metricsz")
 	flag.Parse()
-	if len(models) == 0 {
-		fatal(errors.New("at least one -model name=path is required"))
+	if len(models) == 0 && *modelsDir == "" {
+		fatal(errors.New("at least one -model name=path or a -models dir is required"))
 	}
 
 	gb, err := parseInts(*bounds)
@@ -72,22 +82,43 @@ func main() {
 		fatal(fmt.Errorf("bad -bounds: %w", err))
 	}
 	reg := serve.NewRegistry(serve.Options{
-		MaxBatch:   *maxBatch,
-		QueueDepth: *queue,
-		FlushEvery: *flush,
-		Threads:    *threads,
+		MaxBatch:    *maxBatch,
+		QueueDepth:  *queue,
+		FlushEvery:  *flush,
+		Threads:     *threads,
+		NativeQuant: *native,
 	})
+	loaded := 0
+	announce := func(en *serve.Entry) {
+		kind := "full-precision"
+		switch {
+		case en.Native:
+			kind = "quantized (codebook-native)"
+		case en.Quantized:
+			kind = "quantized"
+		}
+		fmt.Printf("loaded %q: %s, %d params, %d bytes on disk, %d bytes resident (sha256 %s)\n",
+			en.Name, kind, en.Params, en.Size.TotalBytes(), en.ResidentBytes(), en.Digest[:12])
+		loaded++
+	}
+	if *modelsDir != "" {
+		entries, skipped, err := reg.LoadDir(*modelsDir, serve.ModeAuto)
+		if err != nil {
+			fatal(err)
+		}
+		for _, en := range entries {
+			announce(en)
+		}
+		for _, sk := range skipped {
+			fmt.Printf("skipped %s: %s\n", sk.Path, sk.Reason)
+		}
+	}
 	for _, m := range models {
 		en, err := reg.LoadFile(m.name, m.path)
 		if err != nil {
 			fatal(err)
 		}
-		kind := "full-precision"
-		if en.Quantized {
-			kind = "quantized"
-		}
-		fmt.Printf("loaded %q: %s, %d params, %d bytes (sha256 %s)\n",
-			en.Name, kind, en.Params, en.Size.TotalBytes(), en.Digest[:12])
+		announce(en)
 	}
 
 	obs.Enable(*obsOn)
@@ -104,7 +135,7 @@ func main() {
 	srv := &http.Server{Addr: *listen, Handler: mux}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("serving %d model(s) on %s\n", len(models), *listen)
+	fmt.Printf("serving %d model(s) on %s\n", loaded, *listen)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

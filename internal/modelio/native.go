@@ -1,0 +1,145 @@
+package modelio
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/nn"
+	"repro/internal/quantize"
+)
+
+// Kind classifies an artifact file by its magic header.
+type Kind int
+
+const (
+	// KindUnknown is any stream that carries neither magic.
+	KindUnknown Kind = iota
+	// KindReleased is a released model file (DACMRM1), servable directly.
+	KindReleased
+	// KindQuantRecord is a bare quantization record (DACQAP1): codebooks
+	// and indices only, no architecture, biases, or batch-norm state — it
+	// rebinds onto an existing model but cannot be served standalone.
+	KindQuantRecord
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindReleased:
+		return "released model"
+	case KindQuantRecord:
+		return "quantization record"
+	default:
+		return "unknown"
+	}
+}
+
+// Sniff classifies a stream by its first bytes. Both artifact magics are
+// the same length, so one 8-byte read decides; a short stream is
+// KindUnknown, not an error.
+func Sniff(r io.Reader) Kind {
+	hdr := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return KindUnknown
+	}
+	switch string(hdr) {
+	case magic:
+		return KindReleased
+	case quantize.AppliedMagic:
+		return KindQuantRecord
+	default:
+		return KindUnknown
+	}
+}
+
+// SniffFile classifies the artifact at path by magic header, regardless of
+// file extension.
+func SniffFile(path string) (Kind, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return KindUnknown, err
+	}
+	defer f.Close()
+	return Sniff(f), nil
+}
+
+// NumScalars returns the total scalar parameter count a released model
+// carries (dense values plus quantized indices). It reads the record, not
+// a reconstructed model, so it stays correct for native loads whose float
+// parameter storage has been released.
+func NumScalars(rm *ReleasedModel) int {
+	n := 0
+	for _, b := range rm.Dense {
+		n += len(b.Values)
+	}
+	for _, qu := range rm.Quantized {
+		for _, idx := range qu.Indices {
+			n += len(idx)
+		}
+	}
+	return n
+}
+
+// ImportNative reconstructs a quantized released model for codebook-native
+// serving: the architecture is rebuilt and dense parameters (biases,
+// batch-norm affine, unquantized weights) are filled exactly as Import
+// does, but quantized weights are never dequantized. Instead the model is
+// bound to a quantize.CodebookBackend whose views alias rm's codebooks and
+// uint8 index slices zero-copy, and the covered parameters' float
+// value/gradient storage is released — so the resident footprint of the
+// quantized weights is 1 byte per element plus the codebooks, not 16.
+//
+// The returned model is eval-only: training or reading covered parameter
+// values panics. Callers that need float weights (the extraction audit)
+// should Import the retained rm separately. Evaluation is bit-identical to
+// Import's dequantized model at any thread count (the kernel-level
+// guarantee pinned by quantize.TestCodebookNativeBitIdentical).
+func ImportNative(rm *ReleasedModel) (*nn.Model, *quantize.CodebookBackend, error) {
+	if len(rm.Quantized) == 0 {
+		return nil, nil, fmt.Errorf("modelio: model has no quantized units; use Import for full-precision models")
+	}
+	m := nn.NewResNet(rm.Arch)
+	byName := map[string]*nn.Param{}
+	for _, p := range m.Params() {
+		byName[p.Name] = p
+	}
+	for _, blob := range rm.Dense {
+		p, ok := byName[blob.Name]
+		if !ok {
+			return nil, nil, fmt.Errorf("modelio: unknown parameter %q", blob.Name)
+		}
+		if p.NumEl() != len(blob.Values) {
+			return nil, nil, fmt.Errorf("modelio: parameter %q has %d elements, file has %d", blob.Name, p.NumEl(), len(blob.Values))
+		}
+		copy(p.Value.Data(), blob.Values)
+	}
+	cb := quantize.NewCodebookBackend()
+	var covered []*nn.Param
+	for _, qu := range rm.Quantized {
+		for pi, name := range qu.ParamNames {
+			p, ok := byName[name]
+			if !ok {
+				return nil, nil, fmt.Errorf("modelio: unknown quantized parameter %q", name)
+			}
+			if p.NumEl() != len(qu.Indices[pi]) {
+				return nil, nil, fmt.Errorf("modelio: quantized parameter %q length mismatch", name)
+			}
+			if !p.Weight {
+				return nil, nil, fmt.Errorf("modelio: quantized parameter %q is not a weight; codebook-native eval covers weights only", name)
+			}
+			if err := cb.AddUnit(name, qu.Levels, qu.Indices[pi]); err != nil {
+				return nil, nil, err
+			}
+			covered = append(covered, p)
+		}
+	}
+	if err := restoreBN(m.Net, rm.BNStats); err != nil {
+		return nil, nil, err
+	}
+	m.SetWeightsBackend(cb)
+	// Only now that every view is bound is it safe to drop the float copies.
+	for _, p := range covered {
+		p.ReleaseStorage()
+	}
+	return m, cb, nil
+}

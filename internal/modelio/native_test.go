@@ -1,0 +1,180 @@
+package modelio
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/quantize"
+)
+
+func quantizedRelease(t *testing.T, seed int64) *ReleasedModel {
+	t.Helper()
+	m := trainedish(seed)
+	a := quantize.QuantizeModel(m, quantize.WeightedEntropy{}, 16)
+	rm, err := Export(m, arch(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rm
+}
+
+func TestSniffKinds(t *testing.T) {
+	rm := quantizedRelease(t, 11)
+	var released bytes.Buffer
+	if err := Write(&released, rm); err != nil {
+		t.Fatal(err)
+	}
+	if k := Sniff(bytes.NewReader(released.Bytes())); k != KindReleased {
+		t.Fatalf("released model sniffed as %v", k)
+	}
+
+	m2, a2, err := Import(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = m2
+	var record bytes.Buffer
+	if err := quantize.EncodeApplied(&record, quantize.Snapshot(a2)); err != nil {
+		t.Fatal(err)
+	}
+	if k := Sniff(bytes.NewReader(record.Bytes())); k != KindQuantRecord {
+		t.Fatalf("quantization record sniffed as %v", k)
+	}
+
+	if k := Sniff(bytes.NewReader([]byte("not a model file at all"))); k != KindUnknown {
+		t.Fatalf("foreign bytes sniffed as %v", k)
+	}
+	if k := Sniff(bytes.NewReader([]byte("DAC"))); k != KindUnknown {
+		t.Fatalf("short stream sniffed as %v", k)
+	}
+}
+
+func TestSniffFile(t *testing.T) {
+	dir := t.TempDir()
+	rm := quantizedRelease(t, 12)
+	path := filepath.Join(dir, "model.anything")
+	var buf bytes.Buffer
+	if err := Write(&buf, rm); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	k, err := SniffFile(path)
+	if err != nil || k != KindReleased {
+		t.Fatalf("SniffFile = %v, %v; want released", k, err)
+	}
+	if _, err := SniffFile(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file did not error")
+	}
+}
+
+// TestImportNativeBitIdenticalToImport pins the serving contract: the
+// codebook-native model scores every input bit-identically to the
+// dequantized model, at one worker and four.
+func TestImportNativeBitIdenticalToImport(t *testing.T) {
+	rm := quantizedRelease(t, 13)
+	deq, _, err := Import(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat, cb, err := ImportNative(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.NumCovered() == 0 {
+		t.Fatal("native import covered no parameters")
+	}
+
+	rng := rand.New(rand.NewSource(14))
+	inputs := make([][]float64, 5)
+	for i := range inputs {
+		row := make([]float64, deq.InputLen())
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		inputs[i] = row
+	}
+	for _, threads := range []int{1, 4} {
+		deq.SetThreads(threads)
+		nat.SetThreads(threads)
+		want, err := deq.EvalBatch(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := nat.EvalBatch(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			for j := range want[i] {
+				if math.Float64bits(got[i][j]) != math.Float64bits(want[i][j]) {
+					t.Fatalf("threads=%d sample %d logit %d: native %v != dequantized %v",
+						threads, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestImportNativeReleasesFloatStorage pins the memory win: covered weight
+// parameters drop their float value/grad copies, the model still reports
+// its full scalar count, and the eval weight footprint shrinks below the
+// dense equivalent.
+func TestImportNativeReleasesFloatStorage(t *testing.T) {
+	rm := quantizedRelease(t, 15)
+	nat, cb, err := ImportNative(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	released := 0
+	for _, p := range nat.WeightParams() {
+		if cb.Covers(p.Name) {
+			if !p.Released() {
+				t.Fatalf("covered parameter %s still holds float storage", p.Name)
+			}
+			released++
+		}
+	}
+	if released != cb.NumCovered() {
+		t.Fatalf("released %d params, backend covers %d", released, cb.NumCovered())
+	}
+	if nat.NumParams() != NumScalars(rm) {
+		t.Fatalf("NumParams %d != record scalars %d after release", nat.NumParams(), NumScalars(rm))
+	}
+	denseBytes := 0
+	for _, p := range nat.WeightParams() {
+		if cb.Covers(p.Name) {
+			denseBytes += 8 * p.NumEl()
+		}
+	}
+	if cb.Bytes() >= denseBytes {
+		t.Fatalf("codebook views take %d bytes, dense floats would take %d", cb.Bytes(), denseBytes)
+	}
+}
+
+func TestImportNativeRejectsFullPrecision(t *testing.T) {
+	m := trainedish(16)
+	rm, err := Export(m, arch(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ImportNative(rm); err == nil {
+		t.Fatal("full-precision model accepted by ImportNative")
+	}
+}
+
+func TestNumScalarsMatchesImportedModel(t *testing.T) {
+	rm := quantizedRelease(t, 17)
+	m, _, err := Import(rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if NumScalars(rm) != m.NumParams() {
+		t.Fatalf("NumScalars %d, imported model has %d", NumScalars(rm), m.NumParams())
+	}
+}

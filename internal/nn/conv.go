@@ -18,6 +18,7 @@ type Conv2D struct {
 	name    string
 	Dims    tensor.ConvDims
 	W, B    *Param
+	wview   tensor.Weights // eval weight view; defaults to aliasing W
 	lastIn  *tensor.Tensor
 	cols    []float64 // cached im2col matrices for the last training batch
 	dwPart  []float64 // per-sample dW partials, reduced in sample order
@@ -35,9 +36,16 @@ func NewConv2D(name string, inC, inH, inW, outC, k, stride, pad int, rng *rand.R
 		name: name, Dims: d,
 		W:       newParam(name+".w", w, true),
 		B:       newParam(name+".b", b, false),
+		wview:   tensor.DenseWeights(w.Data()),
 		useBias: true,
 	}
 }
+
+// BindWeights implements WeightBound.
+func (c *Conv2D) BindWeights(b WeightsBackend) { c.wview = b.Weights(c.W) }
+
+// BoundWeights implements WeightBound.
+func (c *Conv2D) BoundWeights() tensor.Weights { return c.wview }
 
 // Name implements Layer.
 func (c *Conv2D) Name() string { return c.name }
@@ -56,6 +64,7 @@ func (c *Conv2D) Forward(ctx *compute.Ctx, x *tensor.Tensor, train bool) *tensor
 	}
 	colSize := c.Dims.ColRows * c.Dims.Cols
 	if train {
+		requireDenseForTrain(c.name, c.wview)
 		if cap(c.cols) < n*colSize {
 			c.cols = make([]float64, n*colSize)
 		}
@@ -66,7 +75,7 @@ func (c *Conv2D) Forward(ctx *compute.Ctx, x *tensor.Tensor, train bool) *tensor
 	out := tensor.New(n, c.Dims.OutC, c.Dims.OutH, c.Dims.OutW)
 	xd := x.Data()
 	od := out.Data()
-	wd := c.W.Value.Data()
+	wv := c.wview
 	var bd []float64
 	if c.useBias {
 		bd = c.B.Value.Data()
@@ -81,7 +90,7 @@ func (c *Conv2D) Forward(ctx *compute.Ctx, x *tensor.Tensor, train bool) *tensor
 		}
 		tensor.Im2Col(c.Dims, xd[i*c.Dims.InElems:(i+1)*c.Dims.InElems], col)
 		oSample := od[i*c.Dims.OutElems : (i+1)*c.Dims.OutElems]
-		tensor.MatMulSlice(oSample, wd, col, c.Dims.OutC, c.Dims.ColRows, spatial)
+		tensor.MatMulWSlice(oSample, wv, col, c.Dims.OutC, c.Dims.ColRows, spatial)
 		if bd != nil {
 			for ch := 0; ch < c.Dims.OutC; ch++ {
 				bv := bd[ch]

@@ -15,6 +15,7 @@ type Dense struct {
 	name     string
 	In, Out  int
 	W, B     *Param
+	wview    tensor.Weights // eval weight view; defaults to aliasing W
 	lastIn   *tensor.Tensor
 	dwPart   []float64 // per-sample dW partials, reduced in sample order
 	withBias bool
@@ -28,9 +29,16 @@ func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
 		name: name, In: in, Out: out,
 		W:        newParam(name+".w", w, true),
 		B:        newParam(name+".b", b, false),
+		wview:    tensor.DenseWeights(w.Data()),
 		withBias: true,
 	}
 }
+
+// BindWeights implements WeightBound.
+func (d *Dense) BindWeights(b WeightsBackend) { d.wview = b.Weights(d.W) }
+
+// BoundWeights implements WeightBound.
+func (d *Dense) BoundWeights() tensor.Weights { return d.wview }
 
 // Name implements Layer.
 func (d *Dense) Name() string { return d.name }
@@ -43,12 +51,13 @@ func (d *Dense) Forward(ctx *compute.Ctx, x *tensor.Tensor, train bool) *tensor.
 		panic(fmt.Sprintf("nn: %s: input features %d, want %d", d.name, x2.Dim(1), d.In))
 	}
 	if train {
+		requireDenseForTrain(d.name, d.wview)
 		d.lastIn = x2
 	}
 	y := tensor.New(n, d.Out)
 	xd := x2.Data()
 	yd := y.Data()
-	wd := d.W.Value.Data()
+	wv := d.wview
 	var bd []float64
 	if d.withBias {
 		bd = d.B.Value.Data()
@@ -56,7 +65,7 @@ func (d *Dense) Forward(ctx *compute.Ctx, x *tensor.Tensor, train bool) *tensor.
 	// Each output row depends only on its own input row, so chunking the
 	// batch is a pure map: (N,in)·(out,in)ᵀ = (N,out) row by row.
 	ctx.ForChunks(n, func(lo, hi int) {
-		tensor.MatMulTSlice(yd[lo*d.Out:hi*d.Out], xd[lo*d.In:hi*d.In], wd, hi-lo, d.In, d.Out)
+		tensor.MatMulTWSlice(yd[lo*d.Out:hi*d.Out], xd[lo*d.In:hi*d.In], wv, hi-lo, d.In, d.Out)
 		if bd != nil {
 			for i := lo; i < hi; i++ {
 				row := yd[i*d.Out : (i+1)*d.Out]

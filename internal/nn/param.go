@@ -49,8 +49,23 @@ func newParam(name string, t *tensor.Tensor, weight bool) *Param {
 // ZeroGrad clears the gradient accumulator.
 func (p *Param) ZeroGrad() { p.Grad.Zero() }
 
-// NumEl returns the number of scalar elements in the parameter.
-func (p *Param) NumEl() int { return p.Value.Len() }
+// ReleaseStorage drops the parameter's float value and gradient storage.
+// Used by codebook-native model loading for weight parameters whose values
+// are served from a quantized view: the 8-byte-per-element float copies
+// would otherwise sit resident for nothing. A released parameter cannot be
+// trained or read; audit paths that need floats re-import the release
+// record instead.
+func (p *Param) ReleaseStorage() {
+	p.Value.Release()
+	p.Grad.Release()
+}
+
+// Released reports whether the parameter's float storage has been dropped.
+func (p *Param) Released() bool { return p.Value.Released() }
+
+// NumEl returns the number of scalar elements in the parameter. It is
+// derived from the shape, so it stays correct after ReleaseStorage.
+func (p *Param) NumEl() int { return p.Value.ShapeLen() }
 
 func (p *Param) String() string {
 	return fmt.Sprintf("%s%v", p.Name, p.Value.Shape())

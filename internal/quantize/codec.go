@@ -9,9 +9,10 @@ import (
 	"repro/internal/nn"
 )
 
-// appliedMagic identifies a quantization-record artifact; the trailing
-// digit is the format version.
-const appliedMagic = "DACQAP1\n"
+// AppliedMagic identifies a quantization-record artifact; the trailing
+// digit is the format version. Exported so registries can sniff artifact
+// kinds from file headers (modelio.Sniff).
+const AppliedMagic = "DACQAP1\n"
 
 // ErrBadApplied reports that a stream is not a quantization record.
 var ErrBadApplied = errors.New("quantize: bad magic (not a quantization record)")
@@ -112,7 +113,7 @@ func EncodeApplied(w io.Writer, blob *AppliedBlob) error {
 	if err := validateApplied(blob); err != nil {
 		return err
 	}
-	if _, err := io.WriteString(w, appliedMagic); err != nil {
+	if _, err := io.WriteString(w, AppliedMagic); err != nil {
 		return fmt.Errorf("quantize: write record header: %w", err)
 	}
 	if err := gob.NewEncoder(w).Encode(blob); err != nil {
@@ -125,14 +126,14 @@ func EncodeApplied(w io.Writer, blob *AppliedBlob) error {
 // and the structural consistency of the payload. Truncated or foreign
 // streams return wrapped errors — never a panic.
 func DecodeApplied(r io.Reader) (*AppliedBlob, error) {
-	hdr := make([]byte, len(appliedMagic))
+	hdr := make([]byte, len(AppliedMagic))
 	if _, err := io.ReadFull(r, hdr); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
 			return nil, fmt.Errorf("quantize: truncated record header: %w", io.ErrUnexpectedEOF)
 		}
 		return nil, fmt.Errorf("quantize: read record header: %w", err)
 	}
-	if string(hdr) != appliedMagic {
+	if string(hdr) != AppliedMagic {
 		return nil, fmt.Errorf("%w: header %q", ErrBadApplied, hdr)
 	}
 	var blob AppliedBlob

@@ -1,0 +1,124 @@
+package quantize
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// CodebookBackend serves eval weight views straight from quantization
+// units: each covered parameter's view is its unit's codebook plus one
+// uint8 index per element, so a bound model runs the LUT matmul kernels
+// over the compressed representation and never materializes dequantized
+// weight tensors. It implements nn.WeightsBackend.
+//
+// Parameters the backend does not cover (biases and batch-norm affines are
+// never quantized; nor are weights absent from the record) fall back to
+// dense views of their float storage, so a partially quantized model still
+// evaluates correctly.
+type CodebookBackend struct {
+	views map[string]tensor.Weights
+}
+
+// NewCodebookBackend returns an empty backend; populate it with AddUnit or
+// use BackendFromApplied / BackendFromBlob.
+func NewCodebookBackend() *CodebookBackend {
+	return &CodebookBackend{views: map[string]tensor.Weights{}}
+}
+
+// AddUnit registers a codebook view for one parameter. levels and idx are
+// aliased, not copied — callers that decoded a release record hand its
+// slices over zero-copy. Levels must number 1..256 and every index must be
+// in range (tensor.CodebookWeights panics otherwise, which AddUnit converts
+// to an error since records come from disk).
+func (cb *CodebookBackend) AddUnit(paramName string, levels []float64, idx []uint8) (err error) {
+	if _, dup := cb.views[paramName]; dup {
+		return fmt.Errorf("quantize: backend already has a view for %q", paramName)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("quantize: invalid codebook view for %q: %v", paramName, r)
+		}
+	}()
+	cb.views[paramName] = tensor.CodebookWeights(levels, idx)
+	return nil
+}
+
+// Covers reports whether the backend holds a codebook view for the named
+// parameter.
+func (cb *CodebookBackend) Covers(paramName string) bool {
+	_, ok := cb.views[paramName]
+	return ok
+}
+
+// CoveredNames returns how many parameters have codebook views.
+func (cb *CodebookBackend) NumCovered() int { return len(cb.views) }
+
+// Weights implements nn.WeightsBackend.
+func (cb *CodebookBackend) Weights(p *nn.Param) tensor.Weights {
+	if w, ok := cb.views[p.Name]; ok {
+		return w
+	}
+	return tensor.DenseWeights(p.Value.Data())
+}
+
+// Bytes sums the resident bytes of the codebook views (indices plus
+// lookup tables) — the quantized-native counterpart of 8 bytes per float
+// weight element.
+func (cb *CodebookBackend) Bytes() int {
+	n := 0
+	for _, w := range cb.views {
+		n += w.Bytes()
+	}
+	return n
+}
+
+// BackendFromApplied builds a codebook backend from a live quantization
+// record (index slices are converted to uint8; level values are aliased).
+// Every unit must have at most 256 levels.
+func BackendFromApplied(a *Applied) (*CodebookBackend, error) {
+	cb := NewCodebookBackend()
+	for _, u := range a.Units {
+		if len(u.Book.Levels) > 256 {
+			return nil, fmt.Errorf("quantize: unit %q has %d levels; codebook-native eval needs ≤256", u.Name, len(u.Book.Levels))
+		}
+		for pi, p := range u.Params {
+			idx := make([]uint8, len(u.Assign[pi]))
+			for i, k := range u.Assign[pi] {
+				if k < 0 || k >= len(u.Book.Levels) {
+					return nil, fmt.Errorf("quantize: unit %q index %d out of range for %d levels", u.Name, k, len(u.Book.Levels))
+				}
+				idx[i] = uint8(k)
+			}
+			if err := cb.AddUnit(p.Name, u.Book.Levels, idx); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return cb, nil
+}
+
+// BackendFromBlob builds a codebook backend from a serialized quantization
+// record (DACQAP1), without binding it to any model's float parameters.
+func BackendFromBlob(blob *AppliedBlob) (*CodebookBackend, error) {
+	cb := NewCodebookBackend()
+	for _, ub := range blob.Units {
+		if len(ub.Levels) > 256 {
+			return nil, fmt.Errorf("quantize: unit %q has %d levels; codebook-native eval needs ≤256", ub.Name, len(ub.Levels))
+		}
+		for pi, name := range ub.ParamNames {
+			idx := make([]uint8, len(ub.Assign[pi]))
+			for i, k := range ub.Assign[pi] {
+				if k < 0 || int(k) >= len(ub.Levels) {
+					return nil, fmt.Errorf("quantize: unit %q index %d out of range for %d levels", ub.Name, k, len(ub.Levels))
+				}
+				idx[i] = uint8(k)
+			}
+			if err := cb.AddUnit(name, ub.Levels, idx); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return cb, nil
+}

@@ -1,0 +1,176 @@
+package quantize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// convTestModel builds a small ResNet so the native backend is exercised
+// over conv layers (LUT matmul, W·col form) as well as the dense head
+// (a·Wᵀ form), not just MLPs.
+func convTestModel(seed int64) *nn.Model {
+	m := nn.NewResNet(nn.ResNetConfig{
+		InC: 1, InH: 8, InW: 8, Classes: 4,
+		Widths: []int{4, 8}, Blocks: []int{1, 1}, Seed: seed,
+	})
+	return m
+}
+
+func evalInputs(m *nn.Model, n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	u := m.InputLen()
+	out := make([][]float64, n)
+	for i := range out {
+		row := make([]float64, u)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// TestCodebookNativeBitIdentical pins the acceptance criterion: a model
+// bound to the codebook backend scores bit-identically to the same
+// quantized model evaluated through the dense float path, at one worker
+// and at four.
+func TestCodebookNativeBitIdentical(t *testing.T) {
+	m := convTestModel(31)
+	a := QuantizeModel(m, WeightedEntropy{}, 8)
+	inputs := evalInputs(m, 6, 32)
+
+	for _, threads := range []int{1, 4} {
+		m.SetThreads(threads)
+
+		m.SetWeightsBackend(nn.DenseFloat{})
+		want, err := m.EvalBatch(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		cb, err := BackendFromApplied(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SetWeightsBackend(cb)
+		got, err := m.EvalBatch(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SetWeightsBackend(nn.DenseFloat{})
+
+		for i := range want {
+			for j := range want[i] {
+				if math.Float64bits(got[i][j]) != math.Float64bits(want[i][j]) {
+					t.Fatalf("threads=%d sample %d logit %d: native %v != dense %v",
+						threads, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestCodebookNativeFromBlobMatchesApplied pins the decode path: a backend
+// built from the serialized record evaluates identically to one built from
+// the live record.
+func TestCodebookNativeFromBlobMatchesApplied(t *testing.T) {
+	m := convTestModel(33)
+	a := QuantizeModel(m, WeightedEntropy{}, 8)
+	blob := Snapshot(a)
+	inputs := evalInputs(m, 3, 34)
+
+	cbA, err := BackendFromApplied(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cbB, err := BackendFromBlob(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cbA.NumCovered() != cbB.NumCovered() {
+		t.Fatalf("coverage differs: %d vs %d", cbA.NumCovered(), cbB.NumCovered())
+	}
+
+	m.SetWeightsBackend(cbA)
+	wantOut, err := m.EvalBatch(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetWeightsBackend(cbB)
+	gotOut, err := m.EvalBatch(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetWeightsBackend(nn.DenseFloat{})
+	for i := range wantOut {
+		for j := range wantOut[i] {
+			if math.Float64bits(gotOut[i][j]) != math.Float64bits(wantOut[i][j]) {
+				t.Fatalf("sample %d logit %d: blob backend %v != applied backend %v",
+					i, j, gotOut[i][j], wantOut[i][j])
+			}
+		}
+	}
+}
+
+// TestCodebookBackendUncoveredFallsBackDense pins the partial-coverage
+// contract: parameters without a codebook view read their float storage.
+func TestCodebookBackendUncoveredFallsBackDense(t *testing.T) {
+	m := convTestModel(35)
+	cb := NewCodebookBackend()
+	p := m.WeightParams()[0]
+	if cb.Covers(p.Name) {
+		t.Fatalf("empty backend claims coverage of %s", p.Name)
+	}
+	w := cb.Weights(p)
+	if !w.IsDense() || w.Len() != p.NumEl() {
+		t.Fatalf("uncovered param view: dense=%v len=%d want len %d", w.IsDense(), w.Len(), p.NumEl())
+	}
+}
+
+// TestCodebookBackendRejectsBadRecords covers the error paths the decode
+// boundary relies on: oversized codebooks, out-of-range indices, and
+// duplicate registration.
+func TestCodebookBackendRejectsBadRecords(t *testing.T) {
+	big := make([]float64, 257)
+	blob := &AppliedBlob{Units: []UnitBlob{{
+		Name: "u", Levels: big, ParamNames: []string{"p"}, Assign: [][]int32{{0}},
+	}}}
+	if _, err := BackendFromBlob(blob); err == nil {
+		t.Fatal("257-level unit accepted")
+	}
+	blob = &AppliedBlob{Units: []UnitBlob{{
+		Name: "u", Levels: []float64{0.5}, ParamNames: []string{"p"}, Assign: [][]int32{{1}},
+	}}}
+	if _, err := BackendFromBlob(blob); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	cb := NewCodebookBackend()
+	if err := cb.AddUnit("p", []float64{1}, []uint8{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cb.AddUnit("p", []float64{1}, []uint8{0}); err == nil {
+		t.Fatal("duplicate view accepted")
+	}
+}
+
+// TestTrainWithCodebookBackendPanics pins the eval-only contract.
+func TestTrainWithCodebookBackendPanics(t *testing.T) {
+	m := convTestModel(36)
+	a := QuantizeModel(m, WeightedEntropy{}, 8)
+	cb, err := BackendFromApplied(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetWeightsBackend(cb)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("train-mode forward with codebook backend did not panic")
+		}
+	}()
+	x := tensor.New(append([]int{1}, m.InputShape...)...)
+	m.ForwardTrain(x)
+}

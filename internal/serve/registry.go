@@ -4,11 +4,31 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/modelio"
 	"repro/internal/nn"
+	"repro/internal/quantize"
+)
+
+// LoadMode selects the physical form a quantized release is served in.
+type LoadMode int
+
+const (
+	// ModeAuto picks codebook-native for quantized releases when the
+	// registry's Options.NativeQuant is set, dequantized otherwise.
+	// Full-precision releases always load dense.
+	ModeAuto LoadMode = iota
+	// ModeDequantized materializes float weight tensors from the codebooks
+	// (the historical behavior).
+	ModeDequantized
+	// ModeNative serves the codebooks and uint8 indices directly through
+	// the LUT matmul kernels; float weight copies are never materialized.
+	// Fails on full-precision releases, which have no codebooks to serve.
+	ModeNative
 )
 
 // Entry is one registered model: the imported network, its serving engine,
@@ -24,6 +44,9 @@ type Entry struct {
 	// Quantized reports whether the release carries codebook-compressed
 	// units.
 	Quantized bool
+	// Native reports whether eval runs codebook-native (LUT kernels over
+	// the release's indices) instead of over dequantized float weights.
+	Native bool
 	// Params is the scalar parameter count.
 	Params int
 	// Size is the release's storage footprint.
@@ -31,6 +54,12 @@ type Entry struct {
 
 	model  *nn.Model
 	engine *Engine
+	// backend holds the codebook views a native entry evaluates through.
+	backend *quantize.CodebookBackend
+	// rm is the release record, retained by native entries so weight-level
+	// consumers (the audit endpoint) can dequantize on demand; nil for
+	// dequantized entries, whose model already holds float weights.
+	rm *modelio.ReleasedModel
 }
 
 // Predict submits one flattened input to the model's batching engine and
@@ -43,6 +72,50 @@ func (en *Entry) Predict(input []float64) (Prediction, error) {
 // endpoint). Forward passes must go through Predict — the engine goroutine
 // owns the model's compute context.
 func (en *Entry) Model() *nn.Model { return en.model }
+
+// AuditModel returns a model whose float weights are readable: the served
+// model for dequantized entries, or a fresh dequantized import of the
+// retained release for native entries (whose served model has released its
+// float weight storage). The fresh import is independent of the serving
+// engine, so audits run safely alongside in-flight forward passes.
+func (en *Entry) AuditModel() (*nn.Model, error) {
+	if !en.Native {
+		return en.model, nil
+	}
+	m, _, err := modelio.Import(en.rm)
+	if err != nil {
+		return nil, fmt.Errorf("serve: audit dequantize %q: %w", en.Name, err)
+	}
+	return m, nil
+}
+
+// ResidentBytes estimates the entry's resident model footprint: parameter
+// float storage (values and gradient accumulators actually allocated —
+// released parameters count zero), batch-norm running statistics, and, for
+// native entries, the codebook views plus the retained release record's
+// dense payload. This is the number BENCH_serve_quant.json compares across
+// load modes.
+func (en *Entry) ResidentBytes() int {
+	n := 0
+	for _, p := range en.model.Params() {
+		n += 8 * (p.Value.Len() + p.Grad.Len())
+	}
+	nn.Walk(en.model.Net, func(l nn.Layer) {
+		if bn, ok := l.(*nn.BatchNorm2D); ok {
+			n += 8 * (len(bn.RunMean) + len(bn.RunVar))
+		}
+	})
+	if en.Native {
+		n += en.backend.Bytes()
+		for _, b := range en.rm.Dense {
+			n += 8 * len(b.Values)
+		}
+		for _, bn := range en.rm.BNStats {
+			n += 8 * (len(bn.RunMean) + len(bn.RunVar))
+		}
+	}
+	return n
+}
 
 // Stats returns the engine's counters.
 func (en *Entry) Stats() Snapshot { return en.engine.Stats() }
@@ -69,10 +142,19 @@ func NewRegistry(opts Options) *Registry {
 func (r *Registry) Options() Options { return r.opts }
 
 // Load reads a released model from src and registers it under name,
-// starting its batching engine. If the name is taken, the new model is
-// swapped in atomically: requests that already reached the old engine are
-// drained through final batched passes, later ones see the new model.
+// starting its batching engine. The serving form follows ModeAuto (see
+// LoadWithMode). If the name is taken, the new model is swapped in
+// atomically: requests that already reached the old engine are drained
+// through final batched passes, later ones see the new model.
 func (r *Registry) Load(name string, src io.Reader) (*Entry, error) {
+	return r.LoadWithMode(name, src, ModeAuto)
+}
+
+// LoadWithMode is Load with an explicit serving form for quantized
+// releases. ModeNative fails on full-precision releases; either mode
+// produces bit-identical predictions (the codebook kernels' guarantee),
+// differing only in resident footprint and weight-read cost.
+func (r *Registry) LoadWithMode(name string, src io.Reader, mode LoadMode) (*Entry, error) {
 	if name == "" {
 		return nil, fmt.Errorf("serve: model name must be non-empty")
 	}
@@ -80,25 +162,42 @@ func (r *Registry) Load(name string, src io.Reader) (*Entry, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: load %q: %w", name, err)
 	}
-	m, _, err := modelio.Import(rm)
-	if err != nil {
-		return nil, fmt.Errorf("serve: load %q: %w", name, err)
+	if mode == ModeAuto {
+		if r.opts.NativeQuant && len(rm.Quantized) > 0 {
+			mode = ModeNative
+		} else {
+			mode = ModeDequantized
+		}
 	}
 	en := &Entry{
 		Name:      name,
 		Digest:    digest,
 		Arch:      rm.Arch,
 		Quantized: len(rm.Quantized) > 0,
-		Params:    m.NumParams(),
+		Params:    modelio.NumScalars(rm),
 		Size:      modelio.Size(rm),
-		model:     m,
+	}
+	switch mode {
+	case ModeNative:
+		m, cb, err := modelio.ImportNative(rm)
+		if err != nil {
+			return nil, fmt.Errorf("serve: load %q: %w", name, err)
+		}
+		en.model, en.backend, en.rm = m, cb, rm
+		en.Native = true
+	default:
+		m, _, err := modelio.Import(rm)
+		if err != nil {
+			return nil, fmt.Errorf("serve: load %q: %w", name, err)
+		}
+		en.model = m
 	}
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
 		return nil, ErrClosed
 	}
-	en.engine = newEngine(m, name, r.opts)
+	en.engine = newEngine(en.model, name, r.opts)
 	old := r.models[name]
 	r.models[name] = en
 	r.mu.Unlock()
@@ -116,6 +215,71 @@ func (r *Registry) LoadFile(name, path string) (*Entry, error) {
 	}
 	defer f.Close()
 	return r.Load(name, f)
+}
+
+// Skipped describes a directory entry LoadDir examined but did not serve.
+type Skipped struct {
+	// Path is the file's full path.
+	Path string
+	// Reason says why it was skipped.
+	Reason string
+}
+
+// LoadDir sniffs every regular file in dir by magic header — no extension
+// convention — and registers each released model (DACMRM1) under its file
+// name minus extension, so one directory can mix full-precision and
+// quantized releases. Bare quantization records (DACQAP1) are reported as
+// skipped rather than errors: they carry codebooks and indices only, with
+// no architecture, biases, or batch-norm state, so there is no model to
+// serve — their content ships inside the quantized release instead.
+// Unrecognized files are skipped likewise. Two files that resolve to the
+// same serving name is an error (which file wins would be ordering luck).
+func (r *Registry) LoadDir(dir string, mode LoadMode) ([]*Entry, []Skipped, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: load dir: %w", err)
+	}
+	var entries []*Entry
+	var skipped []Skipped
+	seen := map[string]string{}
+	for _, de := range des {
+		if de.IsDir() {
+			continue
+		}
+		path := filepath.Join(dir, de.Name())
+		kind, err := modelio.SniffFile(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("serve: load dir: %w", err)
+		}
+		switch kind {
+		case modelio.KindReleased:
+			name := strings.TrimSuffix(de.Name(), filepath.Ext(de.Name()))
+			if prev, dup := seen[name]; dup {
+				return nil, nil, fmt.Errorf("serve: %q and %q both resolve to model name %q", prev, path, name)
+			}
+			seen[name] = path
+			en, err := r.loadFileWithMode(name, path, mode)
+			if err != nil {
+				return nil, nil, err
+			}
+			entries = append(entries, en)
+		case modelio.KindQuantRecord:
+			skipped = append(skipped, Skipped{Path: path,
+				Reason: "bare quantization record (no architecture or batch-norm state); serve the quantized release instead"})
+		default:
+			skipped = append(skipped, Skipped{Path: path, Reason: "not a model artifact"})
+		}
+	}
+	return entries, skipped, nil
+}
+
+func (r *Registry) loadFileWithMode(name, path string, mode LoadMode) (*Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: load %q: %w", name, err)
+	}
+	defer f.Close()
+	return r.LoadWithMode(name, f, mode)
 }
 
 // Get returns the entry serving under name.

@@ -54,6 +54,12 @@ type Options struct {
 	// Threads is the worker count of each model engine's compute context
 	// (0 = GOMAXPROCS). Responses are bit-identical for every value.
 	Threads int
+	// NativeQuant makes ModeAuto loads serve quantized releases
+	// codebook-native: eval runs LUT kernels over the release's uint8
+	// indices and the float weight copies are never materialized. Logits
+	// are bit-identical to dequantized serving; resident model bytes are
+	// strictly lower. Full-precision releases are unaffected.
+	NativeQuant bool
 	// Obs is the observability registry serving metrics are published to.
 	// nil selects obs.Default (what /metricsz exposes).
 	Obs *obs.Registry

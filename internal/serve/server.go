@@ -132,10 +132,12 @@ type modelInfo struct {
 	Name       string  `json:"name"`
 	Digest     string  `json:"digest"`
 	Quantized  bool    `json:"quantized"`
+	Native     bool    `json:"native"`
 	Params     int     `json:"params"`
 	SizeBytes  int     `json:"size_bytes"`
 	RawBytes   int     `json:"raw_bytes"`
 	Ratio      float64 `json:"compression_ratio"`
+	Resident   int     `json:"resident_bytes"`
 	InputShape []int   `json:"input_shape"`
 	Classes    int     `json:"classes"`
 }
@@ -145,10 +147,12 @@ func entryInfo(en *Entry) modelInfo {
 		Name:       en.Name,
 		Digest:     en.Digest,
 		Quantized:  en.Quantized,
+		Native:     en.Native,
 		Params:     en.Params,
 		SizeBytes:  en.Size.TotalBytes(),
 		RawBytes:   en.Size.RawBytes,
 		Ratio:      en.Size.Ratio(),
+		Resident:   en.ResidentBytes(),
 		InputShape: en.Model().InputShape,
 		Classes:    en.Model().Classes,
 	}
@@ -210,8 +214,15 @@ func (s *Server) handleModelOp(w http.ResponseWriter, r *http.Request) {
 		bounds = s.auditBounds
 	}
 	// The same detection pass dacextract -audit runs offline: weight reads
-	// only, so it is safe alongside in-flight forward passes.
-	rep := attack.AuditModel(en.Model(), bounds, req.Threshold)
+	// only, so it is safe alongside in-flight forward passes. Native
+	// entries hold no float weights, so the audit dequantizes a private
+	// copy from the retained release record.
+	am, err := en.AuditModel()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	rep := attack.AuditModel(am, bounds, req.Threshold)
 	resp := auditResponse{
 		Model:      en.Name,
 		Digest:     en.Digest,

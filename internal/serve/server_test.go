@@ -167,9 +167,13 @@ func TestHTTPPredictBackpressure429(t *testing.T) {
 			<-release
 		})
 	}
+	// Two submissions trigger a size flush, which stalls in the hook. They
+	// must land before the queue-fillers: submitted together, the scheduler
+	// can let the fillers win the queue slots and bounce the rest with
+	// ErrQueueFull before the engine ever stalls, and the queue then never
+	// refills to 2.
 	var wg sync.WaitGroup
-	stalled := testInputs(4, u, 64) // 2 stall in the flush, 2 fill the queue
-	for _, in := range stalled {
+	for _, in := range testInputs(2, u, 64) {
 		wg.Add(1)
 		go func(in []float64) {
 			defer wg.Done()
@@ -177,6 +181,14 @@ func TestHTTPPredictBackpressure429(t *testing.T) {
 		}(in)
 	}
 	<-inFlush
+	// The engine goroutine is stalled, so these fill the drained queue.
+	for _, in := range testInputs(2, u, 66) {
+		wg.Add(1)
+		go func(in []float64) {
+			defer wg.Done()
+			en.Predict(in)
+		}(in)
+	}
 	for en.engine.QueueLen() < 2 {
 		runtime.Gosched()
 	}

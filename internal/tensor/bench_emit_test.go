@@ -1,0 +1,108 @@
+package tensor
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// emitBench, when set to a path, makes TestEmitKernelsBench time the naive
+// reference kernels against the blocked kernels the public API dispatches
+// to, and write GFLOP/s per shape there as JSON. Wired to
+// `make kernels-bench`; empty (the default) skips the test so the regular
+// suite stays fast and timing-free.
+var emitBench = flag.String("emit-bench", "", "write kernel throughput numbers (BENCH_kernels.json) to this path")
+
+type kernelPoint struct {
+	Kernel        string  `json:"kernel"`
+	M             int     `json:"m"`
+	K             int     `json:"k"`
+	N             int     `json:"n"`
+	NaiveGFLOPS   float64 `json:"naive_gflops"`
+	BlockedGFLOPS float64 `json:"blocked_gflops"`
+	Speedup       float64 `json:"speedup"`
+}
+
+type kernelReport struct {
+	Threads int           `json:"threads"`
+	Notes   string        `json:"notes"`
+	Points  []kernelPoint `json:"points"`
+}
+
+// gflops times fn (one full m×k×n product per call) and converts the best
+// observed ns/op into GFLOP/s, counting 2 flops per multiply-accumulate.
+func gflops(m, k, n int, fn func()) float64 {
+	best := math.MaxFloat64
+	for r := 0; r < 3; r++ {
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fn()
+			}
+		})
+		if v := float64(res.NsPerOp()); v < best {
+			best = v
+		}
+	}
+	return 2 * float64(m) * float64(k) * float64(n) / best
+}
+
+func TestEmitKernelsBench(t *testing.T) {
+	if *emitBench == "" {
+		t.Skip("pass -emit-bench=<path> (make kernels-bench) to measure kernel throughput")
+	}
+	rng := rand.New(rand.NewSource(51))
+	shapes := [][3]int{
+		{32, 288, 64},   // conv-layer shape: OutC × ColRows × spatial
+		{64, 576, 64},   // deeper conv block
+		{128, 128, 128}, // square
+		{16, 512, 256},  // wide dense batch
+	}
+	rep := kernelReport{
+		Threads: runtime.GOMAXPROCS(0),
+		Notes: "single-core kernel throughput; blocked kernels are the " +
+			"production dispatch target and stay bit-identical to naive " +
+			"(TestBlockedKernelsBitIdentical)",
+	}
+	for _, sh := range shapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := make([]float64, m*k)
+		b := make([]float64, k*n)
+		bt := make([]float64, n*k)
+		dst := make([]float64, m*n)
+		fillCases(rng, a, 0)
+		fillCases(rng, b, 0)
+		fillCases(rng, bt, 0)
+
+		points := []kernelPoint{
+			{
+				Kernel: "matmul", M: m, K: k, N: n,
+				NaiveGFLOPS:   gflops(m, k, n, func() { matmulNaive(dst, a, b, m, k, n) }),
+				BlockedGFLOPS: gflops(m, k, n, func() { matmulBlocked(dst, a, b, m, k, n) }),
+			},
+			{
+				Kernel: "matmulT", M: m, K: k, N: n,
+				NaiveGFLOPS:   gflops(m, k, n, func() { matmulTNaive(dst, a, bt, m, k, n) }),
+				BlockedGFLOPS: gflops(m, k, n, func() { matmulTBlocked(dst, a, bt, m, k, n) }),
+			},
+		}
+		for i := range points {
+			points[i].Speedup = points[i].BlockedGFLOPS / points[i].NaiveGFLOPS
+			t.Logf("%-8s %3dx%3dx%3d: naive %.2f GFLOP/s, blocked %.2f GFLOP/s (%.2fx)",
+				points[i].Kernel, m, k, n, points[i].NaiveGFLOPS, points[i].BlockedGFLOPS, points[i].Speedup)
+		}
+		rep.Points = append(rep.Points, points...)
+	}
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*emitBench, append(raw, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", *emitBench)
+}

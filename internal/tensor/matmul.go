@@ -2,6 +2,35 @@ package tensor
 
 import "fmt"
 
+// Matrix-multiply kernels come in two families: the *naive reference
+// kernels in this file, which define the repo's floating-point accumulation
+// order, and the cache-blocked / register-tiled kernels in matmul_blocked.go
+// that the public entry points actually dispatch to.
+//
+// # The accumulation-order rule
+//
+// Every kernel — naive, blocked, and the codebook (LUT) variants in
+// weights.go — must produce bit-identical results, because released models,
+// cache keys, and the serving bit-reproducibility guarantee are all derived
+// from these numbers. The rule that makes that hold:
+//
+//   - each output element's value is one serial chain of rounded operations
+//     over its k-terms in ascending k order;
+//   - every multiply-accumulate is written as an explicit two-step
+//     (t := a*b; acc += t) so the intermediate product is rounded to float64
+//     before the add — blocking a compiler from contracting one kernel's
+//     a*b+acc into a fused multiply-add while leaving another's unfused;
+//   - kernels that skip zero a-terms (the a·b and aᵀ·b forms) skip exactly
+//     the same terms in every variant. (Skipping a zero term is itself
+//     bit-neutral — an accumulator seeded with +0 can never become -0, and
+//     adding ±0 to a non-(-0) float is the identity — but a 0·±Inf term
+//     would turn into NaN if added instead of skipped, so the skip set must
+//     match.)
+//
+// Blocked kernels may therefore tile over output rows/columns and hold
+// accumulators in registers, but must not split a k-chain into partial sums
+// that are combined afterwards. TestBlockedKernelsBitIdentical pins this.
+
 // MatMul returns a new (m×n) tensor holding the product of a (m×k) and
 // b (k×n). Both inputs must be 2-D.
 func MatMul(a, b *Tensor) *Tensor {
@@ -14,7 +43,7 @@ func MatMul(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMul inner dims differ: %v x %v", a.shape, b.shape))
 	}
 	out := New(m, n)
-	matmulInto(out.data, a.data, b.data, m, k, n)
+	matmulBlocked(out.data, a.data, b.data, m, k, n)
 	return out
 }
 
@@ -25,11 +54,12 @@ func MatMulInto(dst, a, b *Tensor) {
 	if b.shape[0] != k || dst.shape[0] != m || dst.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch %v = %v x %v", dst.shape, a.shape, b.shape))
 	}
-	matmulInto(dst.data, a.data, b.data, m, k, n)
+	matmulBlocked(dst.data, a.data, b.data, m, k, n)
 }
 
-// matmulInto is an ikj-ordered kernel: cache-friendly row streaming over b.
-func matmulInto(dst, a, b []float64, m, k, n int) {
+// matmulNaive is the ikj-ordered reference kernel for dst = a·b:
+// cache-friendly row streaming over b, zero a-terms skipped.
+func matmulNaive(dst, a, b []float64, m, k, n int) {
 	for i := range dst {
 		dst[i] = 0
 	}
@@ -42,7 +72,8 @@ func matmulInto(dst, a, b []float64, m, k, n int) {
 			}
 			brow := b[p*n : (p+1)*n]
 			for j, bv := range brow {
-				drow[j] += av * bv
+				t := av * bv
+				drow[j] += t
 			}
 		}
 	}
@@ -60,11 +91,13 @@ func MatMulT(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulT inner dims differ: %v x %v", a.shape, b.shape))
 	}
 	out := New(m, n)
-	matmulTInto(out.data, a.data, b.data, m, k, n)
+	matmulTBlocked(out.data, a.data, b.data, m, k, n)
 	return out
 }
 
-func matmulTInto(dst, a, b []float64, m, k, n int) {
+// matmulTNaive is the reference kernel for dst = a·bᵀ: one dot product per
+// output element, no zero skipping.
+func matmulTNaive(dst, a, b []float64, m, k, n int) {
 	for i := 0; i < m; i++ {
 		arow := a[i*k : (i+1)*k]
 		drow := dst[i*n : (i+1)*n]
@@ -72,7 +105,8 @@ func matmulTInto(dst, a, b []float64, m, k, n int) {
 			brow := b[j*k : (j+1)*k]
 			s := 0.0
 			for p, av := range arow {
-				s += av * brow[p]
+				t := av * brow[p]
+				s += t
 			}
 			drow[j] = s
 		}
@@ -91,11 +125,13 @@ func TMatMul(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: TMatMul inner dims differ: %v x %v", a.shape, b.shape))
 	}
 	out := New(m, n)
-	tmatmulInto(out.data, a.data, b.data, k, m, n)
+	tmatmulBlocked(out.data, a.data, b.data, k, m, n)
 	return out
 }
 
-func tmatmulInto(dst, a, b []float64, k, m, n int) {
+// tmatmulNaive is the reference kernel for dst = aᵀ·b: k-major streaming
+// with zero a-terms skipped.
+func tmatmulNaive(dst, a, b []float64, k, m, n int) {
 	for i := range dst {
 		dst[i] = 0
 	}
@@ -108,7 +144,8 @@ func tmatmulInto(dst, a, b []float64, k, m, n int) {
 			}
 			drow := dst[i*n : (i+1)*n]
 			for j, bv := range brow {
-				drow[j] += av * bv
+				t := av * bv
+				drow[j] += t
 			}
 		}
 	}
@@ -131,21 +168,21 @@ func checkSlices(op string, dst, a, b []float64, dl, al, bl int) {
 // product over dst's previous contents.
 func MatMulSlice(dst, a, b []float64, m, k, n int) {
 	checkSlices("MatMulSlice", dst, a, b, m*n, m*k, k*n)
-	matmulInto(dst, a, b, m, k, n)
+	matmulBlocked(dst, a, b, m, k, n)
 }
 
 // MatMulTSlice computes dst = a·bᵀ for a (m×k) and b (n×k), writing the
 // (m×n) product over dst's previous contents.
 func MatMulTSlice(dst, a, b []float64, m, k, n int) {
 	checkSlices("MatMulTSlice", dst, a, b, m*n, m*k, n*k)
-	matmulTInto(dst, a, b, m, k, n)
+	matmulTBlocked(dst, a, b, m, k, n)
 }
 
 // TMatMulSlice computes dst = aᵀ·b for a (k×m) and b (k×n), writing the
 // (m×n) product over dst's previous contents.
 func TMatMulSlice(dst, a, b []float64, k, m, n int) {
 	checkSlices("TMatMulSlice", dst, a, b, m*n, k*m, k*n)
-	tmatmulInto(dst, a, b, k, m, n)
+	tmatmulBlocked(dst, a, b, k, m, n)
 }
 
 // Transpose returns a new tensor holding the transpose of the 2-D tensor t.

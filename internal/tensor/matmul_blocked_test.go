@@ -1,0 +1,221 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// oddShapes exercises every tail path of the blocked kernels: quads with
+// remainders in every dimension, degenerate 1-wide products, and sizes
+// straddling the 4-wide tile boundary.
+var oddShapes = [][3]int{
+	{1, 1, 1}, {1, 4, 1}, {2, 3, 5}, {3, 7, 2}, {5, 5, 5},
+	{4, 4, 4}, {7, 8, 13}, {8, 16, 8}, {13, 17, 3}, {16, 15, 17},
+	{17, 1, 9}, {3, 13, 16},
+}
+
+// fillCases generates operand fillings that stress the bit-identity
+// guarantee: dense gaussians, zero-heavy slices (exercising the skip-set
+// rule), and values spanning wildly different magnitudes (where any
+// accumulation-order change shows up in the low bits).
+func fillCases(rng *rand.Rand, dst []float64, mode int) {
+	switch mode {
+	case 0:
+		for i := range dst {
+			dst[i] = rng.NormFloat64()
+		}
+	case 1:
+		for i := range dst {
+			if rng.Intn(3) == 0 {
+				dst[i] = 0
+			} else {
+				dst[i] = rng.NormFloat64()
+			}
+		}
+	case 2:
+		for i := range dst {
+			dst[i] = rng.NormFloat64() * math.Pow(2, float64(rng.Intn(80)-40))
+		}
+	}
+}
+
+func bitEqual(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: element %d = %x (%v), want %x (%v)",
+				label, i, math.Float64bits(got[i]), got[i], math.Float64bits(want[i]), want[i])
+		}
+	}
+}
+
+// TestBlockedKernelsBitIdentical pins the accumulation-order rule from
+// matmul.go: the blocked kernels the public API dispatches to must be
+// bit-identical to the naive reference loops, for all three product forms,
+// across odd shapes and adversarial fillings.
+func TestBlockedKernelsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, sh := range oddShapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		for mode := 0; mode < 3; mode++ {
+			a := make([]float64, m*k)
+			b := make([]float64, k*n)
+			fillCases(rng, a, mode)
+			fillCases(rng, b, mode)
+			want := make([]float64, m*n)
+			got := make([]float64, m*n)
+
+			matmulNaive(want, a, b, m, k, n)
+			matmulBlocked(got, a, b, m, k, n)
+			bitEqual(t, "matmul", got, want)
+
+			bt := make([]float64, n*k)
+			fillCases(rng, bt, mode)
+			matmulTNaive(want, a, bt, m, k, n)
+			matmulTBlocked(got, a, bt, m, k, n)
+			bitEqual(t, "matmulT", got, want)
+
+			at := make([]float64, k*m)
+			fillCases(rng, at, mode)
+			tmatmulNaive(want, at, b, k, m, n)
+			tmatmulBlocked(got, at, b, k, m, n)
+			bitEqual(t, "tmatmul", got, want)
+		}
+	}
+}
+
+// TestBlockedZeroSkipInfinity pins the hazard the skip-set rule exists for:
+// a zero a-term against an ±Inf b-term must be skipped (not producing NaN)
+// in the blocked kernels exactly as in the naive ones.
+func TestBlockedZeroSkipInfinity(t *testing.T) {
+	m, k, n := 3, 7, 5
+	a := make([]float64, m*k)
+	b := make([]float64, k*n)
+	rng := rand.New(rand.NewSource(42))
+	for i := range a {
+		if i%3 == 0 {
+			a[i] = 0
+		} else {
+			a[i] = rng.NormFloat64()
+		}
+	}
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	// Place ±Inf in b rows that zero a-terms hit.
+	b[0*n+2] = math.Inf(1)
+	b[3*n+4] = math.Inf(-1)
+
+	want := make([]float64, m*n)
+	got := make([]float64, m*n)
+	matmulNaive(want, a, b, m, k, n)
+	matmulBlocked(got, a, b, m, k, n)
+	bitEqual(t, "matmul inf", got, want)
+
+	at := make([]float64, k*m)
+	copy(at, a[:k*m])
+	tmatmulNaive(want, at, b, k, m, n)
+	tmatmulBlocked(got, at, b, k, m, n)
+	bitEqual(t, "tmatmul inf", got, want)
+}
+
+// quantize rounds a dense slice onto a small codebook, returning the lut,
+// indices, and the dequantized values lut[idx[i]] the LUT kernels must
+// reproduce bit-for-bit.
+func quantizeForTest(rng *rand.Rand, vals []float64, levels int) (lut []float64, idx []uint8, deq []float64) {
+	lut = make([]float64, levels)
+	for i := range lut {
+		lut[i] = rng.NormFloat64()
+	}
+	lut[0] = 0 // ensure the zero-skip path is exercised
+	idx = make([]uint8, len(vals))
+	deq = make([]float64, len(vals))
+	for i := range vals {
+		idx[i] = uint8(rng.Intn(levels))
+		deq[i] = lut[idx[i]]
+	}
+	return lut, idx, deq
+}
+
+// TestLUTKernelsBitIdentical pins the codebook kernels to the naive loops
+// over the dequantized weights — the invariant that makes codebook-native
+// serving score-identical to the dequantized forward pass.
+func TestLUTKernelsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, sh := range oddShapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		for _, levels := range []int{2, 8, 256} {
+			// Conv form: dst = W·b with W quantized.
+			wlut, widx, wdeq := quantizeForTest(rng, make([]float64, m*k), levels)
+			b := make([]float64, k*n)
+			fillCases(rng, b, 0)
+			want := make([]float64, m*n)
+			got := make([]float64, m*n)
+			matmulNaive(want, wdeq, b, m, k, n)
+			MatMulWSlice(got, CodebookWeights(wlut, widx), b, m, k, n)
+			bitEqual(t, "lutMatMul", got, want)
+
+			// Dense form: dst = a·Wᵀ with W (n×k) quantized.
+			tlut, tidx, tdeq := quantizeForTest(rng, make([]float64, n*k), levels)
+			a := make([]float64, m*k)
+			fillCases(rng, a, 2)
+			matmulTNaive(want, a, tdeq, m, k, n)
+			MatMulTWSlice(got, a, CodebookWeights(tlut, tidx), m, k, n)
+			bitEqual(t, "lutMatMulT", got, want)
+		}
+	}
+}
+
+// TestDenseWeightsDispatchMatchesSlice pins the dense view path to the plain
+// slice entry points — the "default backend is byte-identical" contract.
+func TestDenseWeightsDispatchMatchesSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	m, k, n := 5, 13, 7
+	w := make([]float64, m*k)
+	b := make([]float64, k*n)
+	fillCases(rng, w, 0)
+	fillCases(rng, b, 0)
+	want := make([]float64, m*n)
+	got := make([]float64, m*n)
+	MatMulSlice(want, w, b, m, k, n)
+	MatMulWSlice(got, DenseWeights(w), b, m, k, n)
+	bitEqual(t, "dense W dispatch", got, want)
+
+	wt := make([]float64, n*k)
+	a := make([]float64, m*k)
+	fillCases(rng, wt, 0)
+	fillCases(rng, a, 0)
+	MatMulTSlice(want, a, wt, m, k, n)
+	MatMulTWSlice(got, a, DenseWeights(wt), m, k, n)
+	bitEqual(t, "dense Wᵀ dispatch", got, want)
+}
+
+func TestWeightsAccessors(t *testing.T) {
+	d := DenseWeights([]float64{1, 2, 3})
+	if !d.IsDense() || d.Len() != 3 || d.Bytes() != 24 || d.At(2) != 3 {
+		t.Fatalf("dense view accessors wrong: len=%d bytes=%d", d.Len(), d.Bytes())
+	}
+	c := CodebookWeights([]float64{0, 0.5}, []uint8{1, 0, 1, 1})
+	if c.IsDense() || c.Len() != 4 || c.Bytes() != 4+16 || c.At(0) != 0.5 {
+		t.Fatalf("codebook view accessors wrong: len=%d bytes=%d", c.Len(), c.Bytes())
+	}
+	out := make([]float64, 4)
+	c.Materialize(out)
+	wantEq(t, out, []float64{0.5, 0, 0.5, 0.5})
+}
+
+func TestCodebookWeightsValidation(t *testing.T) {
+	t.Run("empty lut", func(t *testing.T) {
+		defer expectPanic(t, "empty lut")
+		CodebookWeights(nil, []uint8{0})
+	})
+	t.Run("index out of range", func(t *testing.T) {
+		defer expectPanic(t, "index range")
+		CodebookWeights([]float64{1, 2}, []uint8{0, 2})
+	})
+	t.Run("view length mismatch", func(t *testing.T) {
+		defer expectPanic(t, "length mismatch")
+		MatMulWSlice(make([]float64, 4), CodebookWeights([]float64{1}, []uint8{0, 0, 0}), make([]float64, 4), 2, 2, 2)
+	})
+}

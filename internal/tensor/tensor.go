@@ -154,6 +154,26 @@ func (t *Tensor) Fill(v float64) {
 	}
 }
 
+// Release drops the backing storage, keeping the shape. A released tensor
+// reports Len() 0 and cannot be read or written until storage is restored;
+// codebook-native serving uses this to free float weight copies whose values
+// live in a quantized view instead. ShapeLen returns the element count the
+// shape implies regardless of whether storage is present.
+func (t *Tensor) Release() { t.data = nil }
+
+// Released reports whether the backing storage has been dropped.
+func (t *Tensor) Released() bool { return t.data == nil }
+
+// ShapeLen returns the element count implied by the shape, which for a
+// released tensor differs from Len().
+func (t *Tensor) ShapeLen() int {
+	n := 1
+	for _, d := range t.shape {
+		n *= d
+	}
+	return n
+}
+
 // CopyFrom copies o's elements into t. Shapes must match in element count.
 func (t *Tensor) CopyFrom(o *Tensor) {
 	if len(t.data) != len(o.data) {

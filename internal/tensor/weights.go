@@ -1,0 +1,204 @@
+package tensor
+
+import "fmt"
+
+// Weights is the weight operand of an eval-path matrix multiply, in one of
+// two physical layouts:
+//
+//   - dense: a row-major []float64, aliasing a parameter tensor's storage —
+//     the default, byte-identical to multiplying by the tensor itself;
+//   - codebook: a lookup table of ≤256 representative values plus one uint8
+//     index per element (the layout quantized releases ship in), so the
+//     multiply reads 1 byte per weight instead of 8 and never materializes
+//     a dequantized tensor.
+//
+// The codebook kernels produce bit-identical results to running the dense
+// kernels over the dequantized values lut[idx[i]], because every kernel
+// follows the accumulation-order rule in matmul.go and lut[idx[i]] is the
+// exact float64 the dequantized tensor would hold.
+type Weights struct {
+	dense []float64
+	lut   []float64
+	idx   []uint8
+}
+
+// DenseWeights wraps a row-major float64 slice (aliased, not copied).
+func DenseWeights(v []float64) Weights { return Weights{dense: v} }
+
+// CodebookWeights wraps a codebook view: element i has value lut[idx[i]].
+// Both slices are aliased, not copied. It panics on an empty or oversized
+// lookup table or an out-of-range index — the caller (a model decoder)
+// is expected to have validated untrusted inputs already; this is the
+// memory-safety backstop that keeps the kernels bounds-check-free.
+func CodebookWeights(lut []float64, idx []uint8) Weights {
+	if len(lut) == 0 || len(lut) > 256 {
+		panic(fmt.Sprintf("tensor: codebook has %d levels (want 1..256)", len(lut)))
+	}
+	for i, k := range idx {
+		if int(k) >= len(lut) {
+			panic(fmt.Sprintf("tensor: codebook index %d at element %d out of range for %d levels", k, i, len(lut)))
+		}
+	}
+	return Weights{lut: lut, idx: idx}
+}
+
+// IsDense reports whether the view is a plain float64 slice.
+func (w Weights) IsDense() bool { return w.idx == nil }
+
+// Len returns the number of weight elements in the view.
+func (w Weights) Len() int {
+	if w.IsDense() {
+		return len(w.dense)
+	}
+	return len(w.idx)
+}
+
+// Bytes returns the resident size of the view's backing storage: 8 bytes
+// per dense element, or 1 byte per index plus 8 per lookup-table level.
+func (w Weights) Bytes() int {
+	if w.IsDense() {
+		return 8 * len(w.dense)
+	}
+	return len(w.idx) + 8*len(w.lut)
+}
+
+// At returns element i's value regardless of layout.
+func (w Weights) At(i int) float64 {
+	if w.IsDense() {
+		return w.dense[i]
+	}
+	return w.lut[w.idx[i]]
+}
+
+// Materialize writes the view's values into dst (len must match), i.e.
+// dequantizes a codebook view. Used by audit paths that need a float
+// tensor, never by the eval kernels.
+func (w Weights) Materialize(dst []float64) {
+	if len(dst) != w.Len() {
+		panic(fmt.Sprintf("tensor: Materialize dst has %d elements, view has %d", len(dst), w.Len()))
+	}
+	if w.IsDense() {
+		copy(dst, w.dense)
+		return
+	}
+	for i, k := range w.idx {
+		dst[i] = w.lut[k]
+	}
+}
+
+// MatMulWSlice computes dst = W·b for W (m×k) in view form and b (k×n) —
+// the convolution forward shape (W is the kernel matrix, b the im2col patch
+// matrix). Bit-identical to MatMulSlice over the dense values.
+func MatMulWSlice(dst []float64, w Weights, b []float64, m, k, n int) {
+	if w.Len() != m*k {
+		panic(fmt.Sprintf("tensor: MatMulWSlice weight view has %d elements, want %d", w.Len(), m*k))
+	}
+	if w.IsDense() {
+		MatMulSlice(dst, w.dense, b, m, k, n)
+		return
+	}
+	checkSlices("MatMulWSlice", dst, b, b, m*n, k*n, k*n)
+	lutMatMul(dst, w.lut, w.idx, b, m, k, n)
+}
+
+// MatMulTWSlice computes dst = a·Wᵀ for a (m×k) and W (n×k) in view form —
+// the dense-layer forward shape (a is the activation batch, W the (out,in)
+// weight matrix). Bit-identical to MatMulTSlice over the dense values.
+func MatMulTWSlice(dst, a []float64, w Weights, m, k, n int) {
+	if w.Len() != n*k {
+		panic(fmt.Sprintf("tensor: MatMulTWSlice weight view has %d elements, want %d", w.Len(), n*k))
+	}
+	if w.IsDense() {
+		MatMulTSlice(dst, a, w.dense, m, k, n)
+		return
+	}
+	checkSlices("MatMulTWSlice", dst, a, a, m*n, m*k, m*k)
+	lutMatMulT(dst, a, w.lut, w.idx, m, k, n)
+}
+
+// lutMatMul computes dst = W·b where W[i][p] = lut[idx[i*k+p]]. Structure
+// and op order mirror matmulBlocked exactly; the level lookup happens once
+// per (row, k-term), amortized over the n-wide inner sweep, so the codebook
+// indirection costs ~nothing on the conv path.
+func lutMatMul(dst, lut []float64, idx []uint8, b []float64, m, k, n int) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		irow := idx[i*k : (i+1)*k]
+		drow := dst[i*n : (i+1)*n]
+		p := 0
+		for ; p+4 <= k; p += 4 {
+			a0, a1, a2, a3 := lut[irow[p]], lut[irow[p+1]], lut[irow[p+2]], lut[irow[p+3]]
+			if a0 == 0 || a1 == 0 || a2 == 0 || a3 == 0 {
+				for q := p; q < p+4; q++ {
+					if av := lut[irow[q]]; av != 0 {
+						axpyRow(drow, b[q*n:(q+1)*n], av)
+					}
+				}
+				continue
+			}
+			b0 := b[p*n : (p+1)*n]
+			b1 := b[(p+1)*n : (p+2)*n]
+			b2 := b[(p+2)*n : (p+3)*n]
+			b3 := b[(p+3)*n : (p+4)*n]
+			for j := range drow {
+				v := drow[j]
+				t0 := a0 * b0[j]
+				v += t0
+				t1 := a1 * b1[j]
+				v += t1
+				t2 := a2 * b2[j]
+				v += t2
+				t3 := a3 * b3[j]
+				v += t3
+				drow[j] = v
+			}
+		}
+		for ; p < k; p++ {
+			if av := lut[irow[p]]; av != 0 {
+				axpyRow(drow, b[p*n:(p+1)*n], av)
+			}
+		}
+	}
+}
+
+// lutMatMulT computes dst = a·Wᵀ where W[j][p] = lut[idx[j*k+p]].
+// Structure and op order mirror matmulTBlocked exactly.
+func lutMatMulT(dst, a, lut []float64, idx []uint8, m, k, n int) {
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		drow := dst[i*n : (i+1)*n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			i0 := idx[j*k : (j+1)*k]
+			i1 := idx[(j+1)*k : (j+2)*k]
+			i2 := idx[(j+2)*k : (j+3)*k]
+			i3 := idx[(j+3)*k : (j+4)*k]
+			var s0, s1, s2, s3 float64
+			for p, av := range arow {
+				t0 := av * lut[i0[p]]
+				s0 += t0
+				t1 := av * lut[i1[p]]
+				s1 += t1
+				t2 := av * lut[i2[p]]
+				s2 += t2
+				t3 := av * lut[i3[p]]
+				s3 += t3
+			}
+			drow[j] = s0
+			drow[j+1] = s1
+			drow[j+2] = s2
+			drow[j+3] = s3
+		}
+		for ; j < n; j++ {
+			irow := idx[j*k : (j+1)*k]
+			s := 0.0
+			for p, av := range arow {
+				t := av * lut[irow[p]]
+				s += t
+			}
+			drow[j] = s
+		}
+	}
+}
