@@ -12,9 +12,10 @@ race:
 
 # Fast race gate over the concurrent packages only. internal/quantize is
 # here for the codebook-native eval tests, which forward through the worker
-# pool at several thread counts.
+# pool at several thread counts; internal/gateway for the fleet-routing
+# tests (concurrent probes, rolling reloads, and hot-swap under fire).
 race-fast:
-	go test -race ./internal/compute/ ./internal/nn/ ./internal/train/ ./internal/serve/ ./internal/obs/ ./internal/quantize/
+	go test -race ./internal/compute/ ./internal/nn/ ./internal/train/ ./internal/serve/ ./internal/obs/ ./internal/quantize/ ./internal/gateway/
 
 vet:
 	go vet ./...
@@ -43,6 +44,13 @@ kernels-bench:
 serve-quant-bench:
 	go test ./internal/serve/ -run '^TestEmitServeQuantBench$$' -count=1 -v -timeout 20m -args -emit-quant-bench=$(CURDIR)/BENCH_serve_quant.json
 
+# Fleet throughput sweep (aggregate requests/sec vs replica pool size, plus
+# a rolling reload under fire) written to BENCH_gateway.json; fails unless
+# req/s grows monotonically 1→2→4 replicas and the reload answers every
+# client request.
+gateway-bench:
+	go test ./internal/gateway/ -run '^TestEmitGatewayBench$$' -count=1 -v -timeout 20m -args -emit-bench=$(CURDIR)/BENCH_gateway.json
+
 # Observability overhead guard: instrumented-vs-uninstrumented forward pass
 # written to BENCH_obs.json; fails if enabling obs costs more than 2%.
 obs-bench:
@@ -55,4 +63,4 @@ obs-bench:
 pipeline-bench:
 	go test ./internal/experiments/ -run '^TestEmitPipelineBench$$' -count=1 -v -args -emit-bench=$(CURDIR)/BENCH_pipeline.json
 
-.PHONY: check race race-fast vet bench serve-bench kernels-bench serve-quant-bench obs-bench pipeline-bench
+.PHONY: check race race-fast vet bench serve-bench kernels-bench serve-quant-bench gateway-bench obs-bench pipeline-bench

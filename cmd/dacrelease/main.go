@@ -11,7 +11,10 @@
 // quantization record (codebooks plus per-weight indices, DACQAP1) is also
 // written next to the release — the standalone artifact quantization
 // tooling consumes; it is not servable on its own (dacserve skips it) since
-// it carries no architecture or batch-norm state.
+// it carries no architecture or batch-norm state. With -store, the release
+// is additionally published into an artifact store under its content
+// digest, where a dacserve/dacgateway fleet pulls it from — every replica
+// that loads the digest provably serves byte-identical weights.
 package main
 
 import (
@@ -26,10 +29,12 @@ import (
 	"repro/internal/modelio"
 	"repro/internal/obs"
 	"repro/internal/quantize"
+	"repro/internal/serve"
 )
 
 func main() {
 	modelPath := flag.String("model", "released.bin", "output model file")
+	storeDir := flag.String("store", "", "artifact store to also publish the release into, keyed by content digest (dacserve replicas pull it with -pull / :load)")
 	quantOut := flag.String("quantized-out", "", "optional path for the bare quantization record (DACQAP1: codebooks + indices, no architecture)")
 	truthDir := flag.String("truth", "", "optional directory for ground-truth target PGMs")
 	lambda := flag.Float64("lambda", 10, "correlation rate for the encoding group")
@@ -89,6 +94,18 @@ func main() {
 		*modelPath, 100*res.TestAcc, res.Plan.TotalImages())
 	fmt.Printf("storage: %d bytes (%.1fx smaller than raw %d bytes)\n",
 		size.TotalBytes(), size.Ratio(), size.RawBytes)
+
+	if *storeDir != "" {
+		pub, err := artifact.Open(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		digest, err := serve.PublishReleaseFile(pub, *modelPath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("published release to %s (digest %s)\n", *storeDir, digest)
+	}
 
 	if *quantOut != "" {
 		if res.Applied == nil {

@@ -21,9 +21,18 @@
 // -pprof additionally exposes net/http/pprof under /debug/pprof/, and -obs
 // turns on the deep runtime instrumentation (compute pool timings).
 //
-// Shutdown on SIGINT/SIGTERM is graceful: the listener stops accepting,
-// in-flight requests drain through final batched passes, then the process
-// exits.
+// With -store the replica attaches an artifact store of published releases
+// (dacrelease -store): -pull name=digest loads models from it at startup,
+// and POST /v1/models/{name}:load pulls by digest at runtime — how a
+// dacgateway rolls a fleet onto new weights. The listener starts before
+// any model loads; /readyz answers 503 "starting" until they finish, then
+// 200, so a gateway never routes to a replica mid-startup.
+//
+// Shutdown on SIGINT/SIGTERM is graceful and gateway-aware: /readyz flips
+// to 503 "draining" first, the process lingers -drain-grace so health
+// probes observe the drain and eject the replica from routing, then the
+// listener stops accepting, in-flight requests drain through final batched
+// passes, and the process exits.
 package main
 
 import (
@@ -39,6 +48,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/serve"
@@ -58,11 +68,28 @@ func (m *modelFlags) Set(v string) error {
 	return nil
 }
 
+// pullFlags collects repeated -pull name=digest pairs in order.
+type pullFlags []struct{ name, digest string }
+
+func (p *pullFlags) String() string { return fmt.Sprintf("%d pulls", len(*p)) }
+
+func (p *pullFlags) Set(v string) error {
+	name, digest, ok := strings.Cut(v, "=")
+	if !ok || name == "" || digest == "" {
+		return fmt.Errorf("want name=digest, got %q", v)
+	}
+	*p = append(*p, struct{ name, digest string }{name, digest})
+	return nil
+}
+
 func main() {
 	preset := core.CIFARRelease()
 	var models modelFlags
+	var pulls pullFlags
 	flag.Var(&models, "model", "model to serve as name=path (repeatable)")
+	flag.Var(&pulls, "pull", "model to pull from -store as name=digest (repeatable)")
 	modelsDir := flag.String("models", "", "directory of released models; files are sniffed by header, served under file name minus extension")
+	storeDir := flag.String("store", "", "artifact store of published releases; enables -pull and the :load endpoint (digest-based distribution)")
 	native := flag.Bool("native", false, "serve quantized releases codebook-native (LUT kernels over released indices; bit-identical, lower resident memory)")
 	listen := flag.String("listen", ":8080", "HTTP listen address")
 	maxBatch := flag.Int("max-batch", 16, "max requests coalesced into one forward pass")
@@ -72,11 +99,22 @@ func main() {
 	bounds := flag.String("bounds", preset.BoundsCSV(), "default conv-index group bounds for the audit endpoint")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (opt-in)")
 	obsOn := flag.Bool("obs", false, "enable deep runtime instrumentation (compute pool timings) in /metricsz")
+	drainGrace := flag.Duration("drain-grace", 3*time.Second, "how long /readyz advertises draining before the listener stops (lets gateways eject this replica first)")
 	flag.Parse()
-	if len(models) == 0 && *modelsDir == "" {
-		fatal(errors.New("at least one -model name=path or a -models dir is required"))
+	if len(models) == 0 && *modelsDir == "" && len(pulls) == 0 && *storeDir == "" {
+		fatal(errors.New("at least one -model name=path, a -models dir, a -store (models pushed later via :load), or a -pull name=digest is required"))
+	}
+	if len(pulls) > 0 && *storeDir == "" {
+		fatal(errors.New("-pull requires -store"))
 	}
 
+	var store *artifact.Store
+	if *storeDir != "" {
+		var err error
+		if store, err = artifact.Open(*storeDir); err != nil {
+			fatal(err)
+		}
+	}
 	gb, err := parseInts(*bounds)
 	if err != nil {
 		fatal(fmt.Errorf("bad -bounds: %w", err))
@@ -87,7 +125,27 @@ func main() {
 		FlushEvery:  *flush,
 		Threads:     *threads,
 		NativeQuant: *native,
+		Store:       store,
 	})
+	// Start the listener before any model loads: /healthz and /readyz
+	// answer immediately (readyz says "starting"), so a fronting gateway
+	// can watch this replica come up instead of timing out on it.
+	obs.Enable(*obsOn)
+	api := serve.NewServer(reg, gb)
+	mux := http.NewServeMux()
+	mux.Handle("/", api.Handler())
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Printf("pprof enabled at %s/debug/pprof/\n", *listen)
+	}
+	srv := &http.Server{Addr: *listen, Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
 	loaded := 0
 	announce := func(en *serve.Entry) {
 		kind := "full-precision"
@@ -120,22 +178,15 @@ func main() {
 		}
 		announce(en)
 	}
-
-	obs.Enable(*obsOn)
-	mux := http.NewServeMux()
-	mux.Handle("/", serve.NewServer(reg, gb).Handler())
-	if *pprofOn {
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		fmt.Printf("pprof enabled at %s/debug/pprof/\n", *listen)
+	for _, p := range pulls {
+		en, err := reg.LoadDigest(p.name, p.digest, serve.ModeAuto)
+		if err != nil {
+			fatal(err)
+		}
+		announce(en)
 	}
-	srv := &http.Server{Addr: *listen, Handler: mux}
-	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("serving %d model(s) on %s\n", loaded, *listen)
+	api.SetReady()
+	fmt.Printf("serving %d model(s) on %s (ready)\n", loaded, *listen)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -146,6 +197,11 @@ func main() {
 		fmt.Printf("received %s, draining\n", sig)
 	}
 
+	// Advertise the drain on /readyz first and linger, so gateway probes
+	// eject this replica from routing while it still answers everything —
+	// the zero-lost-requests half of a rolling restart.
+	api.StartDrain()
+	time.Sleep(*drainGrace)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {

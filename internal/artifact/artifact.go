@@ -25,6 +25,8 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync/atomic"
 
 	"repro/internal/obs"
@@ -151,6 +153,45 @@ func (s *Store) Put(kind, key string, write func(io.Writer) error) error {
 		obs.Default.Counter("artifact_cache_write_bytes_total").Add(cw.n)
 	}
 	return nil
+}
+
+// Keys lists every key present under kind, sorted. A kind with no
+// artifacts (or whose directory does not exist yet) yields an empty list.
+// The serving fleet uses this to enumerate distributable releases when a
+// requested digest is missing, so the error can say what is available.
+func (s *Store) Keys(kind string) ([]string, error) {
+	if err := checkKind(kind); err != nil {
+		return nil, err
+	}
+	dir := filepath.Join(s.root, kind)
+	shards, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("artifact: keys %s: %w", kind, err)
+	}
+	var keys []string
+	for _, sh := range shards {
+		if !sh.IsDir() {
+			continue
+		}
+		des, err := os.ReadDir(filepath.Join(dir, sh.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("artifact: keys %s: %w", kind, err)
+		}
+		for _, de := range des {
+			name := de.Name()
+			if de.IsDir() || !strings.HasSuffix(name, ".bin") {
+				continue
+			}
+			if key := strings.TrimSuffix(name, ".bin"); checkKey(key) == nil {
+				keys = append(keys, key)
+			}
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
 }
 
 // Delete removes the artifact if present (used to evict entries a reader

@@ -6,6 +6,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -195,5 +196,58 @@ func TestKeyDeterministicAndSensitive(t *testing.T) {
 	y := NewKey("k").Ints("a", []int{1}).Ints("b", []int{2, 3}).Sum()
 	if x == y {
 		t.Fatal("slice encoding ambiguous")
+	}
+}
+
+func TestKeysListsSorted(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty kind (directory does not exist yet) is an empty list, not an
+	// error.
+	if ks, err := s.Keys("release"); err != nil || len(ks) != 0 {
+		t.Fatalf("fresh Keys = %v, %v", ks, err)
+	}
+	want := []string{key("a"), key("b"), key("c")}
+	for _, k := range want {
+		if err := s.Put("release", k, func(w io.Writer) error {
+			_, err := w.Write([]byte(k))
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A stray non-artifact file in a shard directory is ignored.
+	shard := filepath.Join(s.Root(), "release", want[0][:2])
+	if err := os.WriteFile(filepath.Join(shard, "junk.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(want)
+	ks, err := s.Keys("release")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != len(want) {
+		t.Fatalf("Keys = %v, want %v", ks, want)
+	}
+	for i := range want {
+		if ks[i] != want[i] {
+			t.Fatalf("Keys[%d] = %s, want %s", i, ks[i], want[i])
+		}
+	}
+	// Keys tracks deletes and other kinds stay isolated.
+	if err := s.Delete("release", want[1]); err != nil {
+		t.Fatal(err)
+	}
+	if ks, _ := s.Keys("release"); len(ks) != 2 {
+		t.Fatalf("Keys after delete = %v", ks)
+	}
+	if ks, _ := s.Keys("ckpt"); len(ks) != 0 {
+		t.Fatalf("other kind sees keys: %v", ks)
+	}
+	// Invalid kind is rejected.
+	if _, err := s.Keys("no/slashes"); err == nil {
+		t.Fatal("invalid kind accepted")
 	}
 }

@@ -1,0 +1,124 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// maxPredictBody bounds a proxied predict request body (8 MiB is ~1000
+// CIFAR-sized batch samples — far past any sane request).
+const maxPredictBody = 8 << 20
+
+// attemptResult is one proxied attempt's outcome.
+type attemptResult struct {
+	status int
+	header http.Header
+	body   []byte
+	err    error // transport-level failure (counts as passive health failure)
+}
+
+// retryable reports whether the attempt should be retried on the next
+// ring candidate: transport errors, backpressure (429), and server-side
+// failures (5xx). 4xx client errors are the caller's fault on every
+// replica, so retrying would only double the damage.
+func (a attemptResult) retryable() bool {
+	return a.err != nil || a.status == http.StatusTooManyRequests || a.status >= 500
+}
+
+// proxyPredict routes one predict request body across the pool: pick a
+// candidate under the bounded-load rule, forward, and on a retryable
+// failure back off once and try the next distinct candidate. Transport
+// errors mark the replica passively failed. The final attempt's response
+// (or a gateway-synthesized error) is written to w.
+func (g *Gateway) proxyPredict(ctx context.Context, w http.ResponseWriter, model string, body []byte) {
+	g.requests.Inc()
+	cands := g.currentRing().candidates(model)
+	if len(cands) == 0 {
+		g.noReplica.Inc()
+		httpError(w, http.StatusServiceUnavailable, "no ready replica (pool of %d)", len(g.Replicas()))
+		return
+	}
+	first := g.pick(cands, nil)
+	if first == nil {
+		g.sheds.Inc()
+		httpError(w, http.StatusServiceUnavailable, "shed: all %d candidate replica(s) at max in-flight", len(cands))
+		return
+	}
+	res := g.attempt(ctx, first, body)
+	if res.retryable() {
+		if second := g.pick(cands, first); second != nil {
+			g.retries.Inc()
+			if g.opts.RetryBackoff > 0 {
+				select {
+				case <-time.After(g.opts.RetryBackoff):
+				case <-ctx.Done():
+				}
+			}
+			res = g.attempt(ctx, second, body)
+		}
+	}
+	if res.err != nil {
+		httpError(w, http.StatusBadGateway, "replica unreachable: %v", res.err)
+		return
+	}
+	relay(w, res)
+}
+
+// attempt forwards the predict body to one replica and reads the full
+// response. In-flight accounting brackets the call — it is the signal
+// bounded-load routing and drain waits read.
+func (g *Gateway) attempt(ctx context.Context, rep *Replica, body []byte) attemptResult {
+	rep.inflight.Add(1)
+	defer rep.inflight.Add(-1)
+	rep.requests.Inc()
+
+	ctx, cancel := context.WithTimeout(ctx, g.opts.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.BaseURL+"/v1/predict", bytes.NewReader(body))
+	if err != nil {
+		rep.errors.Inc()
+		return attemptResult{err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.opts.Client.Do(req)
+	if err != nil {
+		rep.errors.Inc()
+		rep.noteFailure(err)
+		return attemptResult{err: err}
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		rep.errors.Inc()
+		rep.noteFailure(err)
+		return attemptResult{err: err}
+	}
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
+		rep.errors.Inc()
+	}
+	return attemptResult{status: resp.StatusCode, header: resp.Header, body: out}
+}
+
+// relay writes a replica's response through unchanged.
+func relay(w http.ResponseWriter, res attemptResult) {
+	if ct := res.header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

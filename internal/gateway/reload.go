@@ -1,0 +1,126 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// RollingReload distributes a release digest for one model across the
+// pool with zero lost client requests: for each replica in turn it
+//
+//  1. cordons the replica (removed from the ring — new requests route
+//     around it),
+//  2. waits for the replica's in-flight count to drain to zero,
+//  3. tells the replica to pull the release by digest from the shared
+//     artifact store (POST /v1/models/{name}:load) and hot-swap it in,
+//  4. uncordons the replica (back on the ring, now serving the new
+//     digest).
+//
+// The assignment is advertised first, so /v1/assignments and the
+// /v1/models consistency check reflect the target digest for the whole
+// roll. Replicas currently Down or Draining are skipped — they will pull
+// the assigned digest when an operator revives them. With a single-replica
+// pool the cordon step necessarily empties the ring; zero-loss reload
+// needs a pool of at least two.
+func (g *Gateway) RollingReload(ctx context.Context, model, digest string) error {
+	if model == "" || digest == "" {
+		return fmt.Errorf("gateway: rolling reload needs a model name and a digest")
+	}
+	g.SetAssignment(model, digest)
+	reloaded := 0
+	for _, rep := range g.Replicas() {
+		if !rep.eligible() {
+			continue
+		}
+		if err := g.reloadReplica(ctx, rep, model, digest); err != nil {
+			return fmt.Errorf("gateway: rolling reload %s on %s: %w", short(digest), rep.ID, err)
+		}
+		reloaded++
+	}
+	if reloaded == 0 {
+		return fmt.Errorf("gateway: rolling reload %s: no eligible replica", short(digest))
+	}
+	return nil
+}
+
+func (g *Gateway) reloadReplica(ctx context.Context, rep *Replica, model, digest string) error {
+	if rep.setCordon(true) {
+		g.rebuild()
+	}
+	defer func() {
+		if rep.setCordon(false) {
+			g.rebuild()
+		}
+	}()
+	if err := g.waitDrained(ctx, rep); err != nil {
+		return err
+	}
+	return g.pushLoad(ctx, rep, model, digest)
+}
+
+// waitDrained polls the replica's in-flight count down to zero. The
+// cordon already diverted new traffic, so this terminates as fast as the
+// slowest in-flight request.
+func (g *Gateway) waitDrained(ctx context.Context, rep *Replica) error {
+	for rep.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("drain wait: %w", ctx.Err())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// pushLoad tells one replica to pull the digest from the store and
+// verifies the swapped-in entry reports exactly that digest.
+func (g *Gateway) pushLoad(ctx context.Context, rep *Replica, model, digest string) error {
+	body, err := json.Marshal(map[string]string{"digest": digest})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(ctx, g.opts.RequestTimeout)
+	defer cancel()
+	url := rep.BaseURL + "/v1/models/" + model + ":load"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.opts.Client.Do(req)
+	if err != nil {
+		rep.noteFailure(err)
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("load answered %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	var info struct {
+		Digest string `json:"digest"`
+	}
+	if err := json.Unmarshal(raw, &info); err != nil {
+		return fmt.Errorf("bad load response: %w", err)
+	}
+	if info.Digest != digest {
+		return fmt.Errorf("replica reports digest %s after loading %s", short(info.Digest), short(digest))
+	}
+	return nil
+}
+
+// short abbreviates a digest for messages.
+func short(digest string) string {
+	if len(digest) > 12 {
+		return digest[:12]
+	}
+	return digest
+}

@@ -1,0 +1,312 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Server exposes a Gateway over HTTP:
+//
+//	POST /v1/predict       routed prediction (same body as dacserve)
+//	GET  /v1/models        fleet-aggregated model list with digest
+//	                       consistency verdicts
+//	GET  /v1/assignments   advertised {model name → release digest}
+//	POST /v1/models/{name}:reload  rolling reload: {"digest": ...}
+//	POST /v1/admin/reload  same, with the model in the body
+//	                       ({"model": ..., "digest": ...})
+//	GET  /healthz          gateway liveness + pool summary
+//	GET  /readyz           503 until at least one replica is on the ring
+//	GET  /statsz           routing/health counters (JSON)
+//	GET  /metricsz         the gateway's obs registry (Prometheus text;
+//	                       ?format=json for the JSON snapshot)
+type Server struct {
+	gw  *Gateway
+	mux *http.ServeMux
+}
+
+// NewServer wraps gw.
+func NewServer(gw *Gateway) *Server {
+	s := &Server{gw: gw, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	s.mux.HandleFunc("GET /v1/models", s.handleModels)
+	s.mux.HandleFunc("GET /v1/assignments", s.handleAssignments)
+	s.mux.HandleFunc("POST /v1/admin/reload", s.handleReload)
+	s.mux.HandleFunc("POST /v1/models/{nameop}", s.handleModelOp)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	s.mux.HandleFunc("GET /statsz", s.handleStats)
+	s.mux.HandleFunc("GET /metricsz", s.handleMetrics)
+	return s
+}
+
+// Handler returns the root handler.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.gw.httpRequests.Inc()
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxPredictBody))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read request body: %v", err)
+		return
+	}
+	// Only the routing key is decoded here; the body is forwarded verbatim
+	// so replica answers (and errors) pass through byte-identical.
+	var req struct {
+		Model string `json:"model"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Model == "" {
+		httpError(w, http.StatusBadRequest, "model must be set")
+		return
+	}
+	s.gw.proxyPredict(r.Context(), w, req.Model, body)
+}
+
+// fleetModel is one model name's fleet-wide view: which digest each
+// replica serves, whether they agree, and whether they match the
+// advertised assignment.
+type fleetModel struct {
+	Name string `json:"name"`
+	// Digest is the fleet digest when every replica agrees; empty on
+	// conflict (PerReplica then shows the split).
+	Digest string `json:"digest,omitempty"`
+	// Consistent reports digest agreement across every replica serving the
+	// name — the fleet-wide byte-identical-weights guarantee.
+	Consistent bool `json:"consistent"`
+	// Assigned is the gateway's advertised digest for the name, when set.
+	Assigned string `json:"assigned,omitempty"`
+	// MatchesAssignment is false while any replica serves a digest other
+	// than the assigned one (e.g. mid-roll).
+	MatchesAssignment bool `json:"matches_assignment"`
+	// PerReplica maps replica ID → served digest.
+	PerReplica map[string]string `json:"per_replica"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	reps := s.gw.Replicas()
+	type answer struct {
+		rep    *Replica
+		models []struct {
+			Name   string `json:"name"`
+			Digest string `json:"digest"`
+		}
+		err error
+	}
+	answers := make([]answer, len(reps))
+	var wg sync.WaitGroup
+	for i, rep := range reps {
+		if !rep.eligible() {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, rep *Replica) {
+			defer wg.Done()
+			answers[i].rep = rep
+			answers[i].err = s.gw.getReplicaModels(r.Context(), rep, &answers[i].models)
+		}(i, rep)
+	}
+	wg.Wait()
+
+	assignments := s.gw.Assignments()
+	byName := map[string]*fleetModel{}
+	probed := 0
+	for _, a := range answers {
+		if a.rep == nil {
+			continue
+		}
+		if a.err != nil {
+			a.rep.noteFailure(a.err)
+			continue
+		}
+		probed++
+		for _, m := range a.models {
+			fm := byName[m.Name]
+			if fm == nil {
+				fm = &fleetModel{Name: m.Name, PerReplica: map[string]string{}}
+				byName[m.Name] = fm
+			}
+			fm.PerReplica[a.rep.ID] = m.Digest
+		}
+	}
+	out := make([]*fleetModel, 0, len(byName))
+	allConsistent := true
+	for _, fm := range byName {
+		fm.Consistent = true
+		for _, d := range fm.PerReplica {
+			if fm.Digest == "" {
+				fm.Digest = d
+			} else if fm.Digest != d {
+				fm.Consistent = false
+			}
+		}
+		if !fm.Consistent {
+			fm.Digest = ""
+			allConsistent = false
+		}
+		fm.Assigned = assignments[fm.Name]
+		fm.MatchesAssignment = fm.Consistent && (fm.Assigned == "" || fm.Assigned == fm.Digest)
+		if !fm.MatchesAssignment {
+			allConsistent = false
+		}
+		out = append(out, fm)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, http.StatusOK, map[string]any{
+		"models":     out,
+		"replicas":   probed,
+		"consistent": allConsistent,
+	})
+}
+
+// getReplicaModels fetches one replica's /v1/models list.
+func (g *Gateway) getReplicaModels(ctx context.Context, rep *Replica, out any) error {
+	ctx, cancel := context.WithTimeout(ctx, g.opts.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.BaseURL+"/v1/models", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := g.opts.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("models answered %d", resp.StatusCode)
+	}
+	var wrapper struct {
+		Models json.RawMessage `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&wrapper); err != nil {
+		return err
+	}
+	return json.Unmarshal(wrapper.Models, out)
+}
+
+func (s *Server) handleAssignments(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"assignments": s.gw.Assignments()})
+}
+
+type reloadRequest struct {
+	Model  string `json:"model"`
+	Digest string `json:"digest"`
+}
+
+// handleModelOp routes POST /v1/models/{name}:{op} — the same path
+// convention dacserve uses for :audit and :load, so fleet and replica
+// admin verbs read alike. The only gateway op is :reload.
+func (s *Server) handleModelOp(w http.ResponseWriter, r *http.Request) {
+	nameop := r.PathValue("nameop")
+	name, op, ok := cutLast(nameop, ":")
+	if !ok || name == "" {
+		httpError(w, http.StatusNotFound, "want /v1/models/{name}:reload, got %q", nameop)
+		return
+	}
+	if op != "reload" {
+		httpError(w, http.StatusNotFound, "unknown model op %q (want reload)", op)
+		return
+	}
+	var req reloadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	req.Model = name
+	s.rollingReload(w, r, req)
+}
+
+// cutLast splits s around the final occurrence of sep.
+func cutLast(s, sep string) (before, after string, found bool) {
+	if i := strings.LastIndex(s, sep); i >= 0 {
+		return s[:i], s[i+len(sep):], true
+	}
+	return s, "", false
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	var req reloadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	s.rollingReload(w, r, req)
+}
+
+func (s *Server) rollingReload(w http.ResponseWriter, r *http.Request, req reloadRequest) {
+	if req.Model == "" || req.Digest == "" {
+		httpError(w, http.StatusBadRequest, "model and digest must be set")
+		return
+	}
+	if err := s.gw.RollingReload(r.Context(), req.Model, req.Digest); err != nil {
+		httpError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"model": req.Model, "digest": req.Digest, "status": "reloaded",
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	reps := s.gw.Replicas()
+	eligible := 0
+	for _, rep := range reps {
+		if rep.eligible() {
+			eligible++
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"replicas": len(reps),
+		"eligible": eligible,
+	})
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if len(s.gw.currentRing().members) == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "no ready replica"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	reps := s.gw.Replicas()
+	perReplica := make(map[string]replicaSnapshot, len(reps))
+	for _, rep := range reps {
+		perReplica[rep.ID] = rep.snapshot()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"requests":        s.gw.requests.Value(),
+		"retries":         s.gw.retries.Value(),
+		"sheds":           s.gw.sheds.Value(),
+		"no_replica":      s.gw.noReplica.Value(),
+		"ring_generation": int64(s.gw.generation.Value()),
+		"eligible":        int64(s.gw.eligibleG.Value()),
+		"replicas":        perReplica,
+		"assignments":     s.gw.Assignments(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := s.gw.opts.Obs
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		reg.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	reg.WritePrometheus(w)
+}

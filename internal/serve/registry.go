@@ -131,6 +131,9 @@ type Registry struct {
 	mu     sync.RWMutex
 	models map[string]*Entry
 	closed bool
+	// skipped accumulates the directory entries LoadDir examined but did
+	// not serve, so /statsz can report the count and startup can log each.
+	skipped []Skipped
 }
 
 // NewRegistry builds an empty registry whose engines use opts.
@@ -155,12 +158,19 @@ func (r *Registry) Load(name string, src io.Reader) (*Entry, error) {
 // produces bit-identical predictions (the codebook kernels' guarantee),
 // differing only in resident footprint and weight-read cost.
 func (r *Registry) LoadWithMode(name string, src io.Reader, mode LoadMode) (*Entry, error) {
-	if name == "" {
-		return nil, fmt.Errorf("serve: model name must be non-empty")
-	}
 	rm, digest, err := modelio.ReadWithDigest(src)
 	if err != nil {
 		return nil, fmt.Errorf("serve: load %q: %w", name, err)
+	}
+	return r.register(name, rm, digest, mode)
+}
+
+// register resolves the serving mode, imports the release, and swaps the
+// entry in under name — the shared tail of every load path (reader, file,
+// directory, store digest).
+func (r *Registry) register(name string, rm *modelio.ReleasedModel, digest string, mode LoadMode) (*Entry, error) {
+	if name == "" {
+		return nil, fmt.Errorf("serve: model name must be non-empty")
 	}
 	if mode == ModeAuto {
 		if r.opts.NativeQuant && len(rm.Quantized) > 0 {
@@ -270,7 +280,28 @@ func (r *Registry) LoadDir(dir string, mode LoadMode) ([]*Entry, []Skipped, erro
 			skipped = append(skipped, Skipped{Path: path, Reason: "not a model artifact"})
 		}
 	}
+	if len(skipped) > 0 {
+		r.mu.Lock()
+		r.skipped = append(r.skipped, skipped...)
+		r.mu.Unlock()
+		r.opts.Obs.Counter("serve_load_skipped_total").Add(int64(len(skipped)))
+	}
 	return entries, skipped, nil
+}
+
+// SkippedEntries returns every directory entry LoadDir skipped since the
+// registry was created, in load order.
+func (r *Registry) SkippedEntries() []Skipped {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]Skipped(nil), r.skipped...)
+}
+
+// SkippedCount reports how many directory entries LoadDir skipped.
+func (r *Registry) SkippedCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.skipped)
 }
 
 func (r *Registry) loadFileWithMode(name, path string, mode LoadMode) (*Entry, error) {

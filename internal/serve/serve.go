@@ -33,6 +33,7 @@ import (
 	"errors"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/obs"
 )
 
@@ -63,6 +64,11 @@ type Options struct {
 	// Obs is the observability registry serving metrics are published to.
 	// nil selects obs.Default (what /metricsz exposes).
 	Obs *obs.Registry
+	// Store is the content-addressed artifact store released models are
+	// distributed through: Registry.LoadDigest and the HTTP
+	// /v1/models/{name}:load endpoint pull releases from it by digest.
+	// nil disables digest loads (they fail with ErrNoStore).
+	Store *artifact.Store
 	// LatencyBuckets are the per-batch forward-latency histogram bounds in
 	// seconds. nil selects DefaultLatencyBuckets.
 	LatencyBuckets []float64

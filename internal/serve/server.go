@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/attack"
 	"repro/internal/obs"
@@ -17,7 +19,10 @@ import (
 //	POST /v1/predict              single or batch prediction
 //	GET  /v1/models               registered models and their metadata
 //	POST /v1/models/{name}:audit  defender-side distributional audit
+//	POST /v1/models/{name}:load   pull a release from the artifact store
+//	                              by digest and (hot-)register it
 //	GET  /healthz                 liveness
+//	GET  /readyz                  readiness (503 while starting/draining)
 //	GET  /statsz                  serving counters (JSON)
 //	GET  /metricsz                full obs registry (Prometheus text;
 //	                              ?format=json for the JSON snapshot)
@@ -32,7 +37,22 @@ type Server struct {
 	// registered as serve_http_requests_total on the registry's obs
 	// registry (replace semantics, like engine series).
 	httpRequests *obs.Counter
+	// readiness is the /readyz state machine: starting → ready → draining.
+	// Liveness (/healthz) is separate — a starting or draining replica is
+	// alive but must not receive new gateway traffic.
+	readiness atomic.Int32
 }
+
+// Readiness states, in lifecycle order. A server starts not-ready
+// (readyStarting) so a gateway never routes to a replica still loading its
+// initial models; SetReady flips it once loads complete; StartDrain flips
+// it back before the listener stops, so health-checking gateways eject the
+// replica from their rings ahead of SIGTERM killing it.
+const (
+	readyStarting int32 = iota
+	readyServing
+	readyDraining
+)
 
 // NewServer wraps reg. auditBounds may be nil (audit then uses a single
 // group unless the request supplies bounds).
@@ -46,9 +66,26 @@ func NewServer(reg *Registry, auditBounds []int) *Server {
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("POST /v1/models/{nameop}", s.handleModelOp)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /statsz", s.handleStats)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetrics)
 	return s
+}
+
+// SetReady marks the server ready: initial model loading is done and
+// /readyz starts answering 200. Idempotent; a draining server stays
+// draining (drain is terminal for a process on its way out).
+func (s *Server) SetReady() {
+	s.readiness.CompareAndSwap(readyStarting, readyServing)
+}
+
+// StartDrain marks the server draining: /readyz answers 503 from here on,
+// while /healthz and prediction serving stay up. Callers give gateway
+// probes a grace period to observe the transition before actually stopping
+// the listener, so a drain-aware gateway loses zero requests across a
+// replica shutdown.
+func (s *Server) StartDrain() {
+	s.readiness.Store(readyDraining)
 }
 
 // Handler returns the root handler.
@@ -193,8 +230,12 @@ type auditGroup struct {
 func (s *Server) handleModelOp(w http.ResponseWriter, r *http.Request) {
 	nameop := r.PathValue("nameop")
 	name, op, ok := strings.Cut(nameop, ":")
-	if !ok || op != "audit" {
-		httpError(w, http.StatusNotFound, "unknown model operation %q (want {name}:audit)", nameop)
+	if !ok || (op != "audit" && op != "load") {
+		httpError(w, http.StatusNotFound, "unknown model operation %q (want {name}:audit or {name}:load)", nameop)
+		return
+	}
+	if op == "load" {
+		s.handleLoad(w, r, name)
 		return
 	}
 	en, found := s.reg.Get(name)
@@ -241,6 +282,42 @@ func (s *Server) handleModelOp(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+type loadRequest struct {
+	// Digest names the release in the registry's artifact store (hex
+	// SHA-256 of the released file bytes).
+	Digest string `json:"digest"`
+}
+
+// handleLoad is the replica side of digest-based model distribution: it
+// pulls the release named by digest from the attached artifact store and
+// hot-registers it under name, so a gateway can roll a fleet onto new
+// weights without any replica ever seeing a file path. The serving mode
+// follows ModeAuto (Options.NativeQuant decides, like startup loads).
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request, name string) {
+	var req loadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Digest == "" {
+		httpError(w, http.StatusBadRequest, "digest must be set")
+		return
+	}
+	en, err := s.reg.LoadDigest(name, req.Digest, ModeAuto)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, entryInfo(en))
+	case errors.Is(err, ErrNoStore):
+		httpError(w, http.StatusNotImplemented, "%v", err)
+	case errors.Is(err, fs.ErrNotExist):
+		httpError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		httpError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status": "ok",
@@ -248,10 +325,22 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	switch s.readiness.Load() {
+	case readyServing:
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+	case readyDraining:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+	default:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "starting"})
+	}
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"http_requests": s.httpRequests.Value(),
 		"models":        s.reg.Stats(),
+		"skipped":       s.reg.SkippedCount(),
 	})
 }
 
