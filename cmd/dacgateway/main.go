@@ -18,6 +18,11 @@
 // a new digest one replica at a time (cordon, drain, push, uncordon) with
 // zero dropped requests, provided replicas share an artifact store
 // (dacserve -store) holding the published release (dacrelease -store).
+//
+// Every predict gets a 128-bit trace ID propagated to the replica in
+// X-Dac-Trace; GET /tracez shows recent/slowest/error traces with routing
+// and per-attempt spans, -access-log writes one JSON line per request, and
+// -pprof exposes net/http/pprof under /debug/pprof/.
 package main
 
 import (
@@ -25,7 +30,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -82,11 +89,17 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 256, "hard per-replica in-flight cap; requests are shed with 503 when every candidate is at it")
 	retryBackoff := flag.Duration("retry-backoff", 25*time.Millisecond, "pause before the single retry on another replica")
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "timeout for one proxied predict attempt")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (opt-in)")
+	accessLog := flag.String("access-log", "", `structured JSON access log destination: "-" for stdout, else a file to append to`)
 	flag.Parse()
 	if len(replicas) == 0 {
 		fatal(errors.New("at least one -replica url is required"))
 	}
 
+	logW, err := openAccessLog(*accessLog)
+	if err != nil {
+		fatal(err)
+	}
 	g := gateway.New(gateway.Options{
 		ProbeInterval:  *probeEvery,
 		ProbeTimeout:   *probeTimeout,
@@ -97,6 +110,7 @@ func main() {
 		RetryBackoff:   *retryBackoff,
 		RequestTimeout: *reqTimeout,
 		Obs:            obs.NewRegistry(), // the gateway's own metrics instance
+		AccessLog:      logW,
 	})
 	for _, r := range replicas {
 		if _, err := g.AddReplica(r.id, r.url); err != nil {
@@ -117,7 +131,17 @@ func main() {
 	fmt.Printf("initial probe: %d/%d replicas ready\n", eligible, len(replicas))
 	g.Start()
 
-	srv := &http.Server{Addr: *listen, Handler: gateway.NewServer(g).Handler()}
+	mux := http.NewServeMux()
+	mux.Handle("/", gateway.NewServer(g).Handler())
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Printf("pprof enabled at %s/debug/pprof/\n", *listen)
+	}
+	srv := &http.Server{Addr: *listen, Handler: mux}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("gateway over %d replica(s) on %s\n", len(replicas), *listen)
@@ -138,6 +162,23 @@ func main() {
 	}
 	g.Close() // stop the prober
 	fmt.Println("bye")
+}
+
+// openAccessLog resolves the -access-log flag: "" disables, "-" is stdout,
+// anything else appends to the named file.
+func openAccessLog(dest string) (io.Writer, error) {
+	switch dest {
+	case "":
+		return nil, nil
+	case "-":
+		return os.Stdout, nil
+	default:
+		f, err := os.OpenFile(dest, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("open -access-log: %w", err)
+		}
+		return f, nil
+	}
 }
 
 func fatal(err error) {

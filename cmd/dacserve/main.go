@@ -19,7 +19,10 @@
 // bit-identical predictions, strictly lower resident memory.
 //
 // -pprof additionally exposes net/http/pprof under /debug/pprof/, and -obs
-// turns on the deep runtime instrumentation (compute pool timings).
+// turns on the deep runtime instrumentation (compute pool timings). Every
+// predict is traced (adopting the gateway's X-Dac-Trace ID when fronted):
+// GET /tracez shows recent/slowest/error traces with queue/compute spans,
+// and -access-log writes one JSON line per request.
 //
 // With -store the replica attaches an artifact store of published releases
 // (dacrelease -store): -pull name=digest loads models from it at startup,
@@ -40,6 +43,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -99,6 +103,7 @@ func main() {
 	bounds := flag.String("bounds", preset.BoundsCSV(), "default conv-index group bounds for the audit endpoint")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (opt-in)")
 	obsOn := flag.Bool("obs", false, "enable deep runtime instrumentation (compute pool timings) in /metricsz")
+	accessLog := flag.String("access-log", "", `structured JSON access log destination: "-" for stdout, else a file to append to`)
 	drainGrace := flag.Duration("drain-grace", 3*time.Second, "how long /readyz advertises draining before the listener stops (lets gateways eject this replica first)")
 	flag.Parse()
 	if len(models) == 0 && *modelsDir == "" && len(pulls) == 0 && *storeDir == "" {
@@ -132,6 +137,11 @@ func main() {
 	// can watch this replica come up instead of timing out on it.
 	obs.Enable(*obsOn)
 	api := serve.NewServer(reg, gb)
+	if w, err := openAccessLog(*accessLog); err != nil {
+		fatal(err)
+	} else if w != nil {
+		api.SetAccessLog(w)
+	}
 	mux := http.NewServeMux()
 	mux.Handle("/", api.Handler())
 	if *pprofOn {
@@ -209,6 +219,23 @@ func main() {
 	}
 	reg.Close() // answer anything already queued, then stop the engines
 	fmt.Println("bye")
+}
+
+// openAccessLog resolves the -access-log flag: "" disables, "-" is stdout,
+// anything else appends to the named file.
+func openAccessLog(dest string) (io.Writer, error) {
+	switch dest {
+	case "":
+		return nil, nil
+	case "-":
+		return os.Stdout, nil
+	default:
+		f, err := os.OpenFile(dest, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("open -access-log: %w", err)
+		}
+		return f, nil
+	}
 }
 
 func parseInts(s string) ([]int, error) {

@@ -29,6 +29,7 @@ package gateway
 import (
 	"context"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"sync"
@@ -72,6 +73,12 @@ type Options struct {
 	// runs its own obs instance, exposed at its /metricsz. nil selects
 	// obs.Default.
 	Obs *obs.Registry
+	// MaxClients caps per-client metric cardinality (see the serve
+	// package's option of the same name). <= 0 selects 64.
+	MaxClients int
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// completed predict (a TraceRecord without spans).
+	AccessLog io.Writer
 }
 
 func (o Options) withDefaults() Options {
@@ -102,6 +109,9 @@ func (o Options) withDefaults() Options {
 	if o.Obs == nil {
 		o.Obs = obs.Default
 	}
+	if o.MaxClients <= 0 {
+		o.MaxClients = 64
+	}
 	return o
 }
 
@@ -126,6 +136,16 @@ type Gateway struct {
 
 	httpRequests *obs.Counter // every HTTP request, any endpoint
 
+	// Request tracing and per-client accounting (see internal/obs/trace.go):
+	// the gateway mints the trace ID every predict carries through the
+	// fleet, keeps its own completed-trace buffer for /tracez, and accounts
+	// requests per client with bounded cardinality.
+	traces     *obs.TraceBuffer
+	accessLog  *obs.AccessLogger
+	clientReqs *obs.CounterVec
+	clientErrs *obs.CounterVec
+	clientLat  *obs.HistogramVec
+
 	stop, done chan struct{}
 	startOnce  sync.Once
 	closeOnce  sync.Once
@@ -145,6 +165,11 @@ func New(opts Options) *Gateway {
 		generation:   obs.NewGauge(),
 		eligibleG:    obs.NewGauge(),
 		httpRequests: obs.NewCounter(),
+		traces:       obs.NewTraceBuffer(0, 0, 0),
+		accessLog:    obs.NewAccessLogger(opts.AccessLog),
+		clientReqs:   obs.NewCounterVec(opts.Obs, "gateway_client_requests_total", "client", opts.MaxClients),
+		clientErrs:   obs.NewCounterVec(opts.Obs, "gateway_client_errors_total", "client", opts.MaxClients),
+		clientLat:    obs.NewHistogramVec(opts.Obs, "gateway_client_latency_seconds", "client", opts.MaxClients, obs.ExpBuckets(0.0005, 2, 12)),
 		stop:         make(chan struct{}),
 		done:         make(chan struct{}),
 	}

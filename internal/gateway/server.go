@@ -9,6 +9,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Server exposes a Gateway over HTTP:
@@ -41,6 +43,7 @@ func NewServer(gw *Gateway) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /statsz", s.handleStats)
+	s.mux.HandleFunc("GET /tracez", s.handleTraces)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetrics)
 	return s
 }
@@ -54,9 +57,24 @@ func (s *Server) Handler() http.Handler {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	// The gateway is where a fleet trace is born: mint (or adopt) the trace
+	// ID here, and it follows the request through routing, each proxied
+	// attempt, and the replica's own trace.
+	client := obs.ClientFrom(r.Header.Get(obs.HeaderClient), r.RemoteAddr)
+	id, hop, _ := obs.ParseTraceHeader(r.Header.Get(obs.HeaderTrace))
+	tr := obs.NewRequestTrace(id, nil)
+	tr.SetClient(client)
+	tr.SetHop(hop)
+	fail := func(status int, format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		writeTraceError(w, status, tr, msg)
+		s.gw.finishPredict(tr, client, status, msg)
+	}
+	sp := tr.StartSpan("decode")
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxPredictBody))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "read request body: %v", err)
+		sp.End()
+		fail(http.StatusBadRequest, "read request body: %v", err)
 		return
 	}
 	// Only the routing key is decoded here; the body is forwarded verbatim
@@ -64,15 +82,22 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Model string `json:"model"`
 	}
-	if err := json.Unmarshal(body, &req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+	err = json.Unmarshal(body, &req)
+	sp.End()
+	if err != nil {
+		fail(http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
 	if req.Model == "" {
-		httpError(w, http.StatusBadRequest, "model must be set")
+		fail(http.StatusBadRequest, "model must be set")
 		return
 	}
-	s.gw.proxyPredict(r.Context(), w, req.Model, body)
+	tr.SetModel(req.Model)
+	s.gw.proxyPredict(r.Context(), w, req.Model, body, tr, client)
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.gw.traces.Snapshot())
 }
 
 // fleetModel is one model name's fleet-wide view: which digest each

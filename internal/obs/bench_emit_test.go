@@ -1,21 +1,28 @@
 // Overhead guard for the observability layer: the instrumented forward
 // pass (obs enabled) must cost at most a few percent over the same pass
-// with obs disabled, and disabled instrumentation must be free in
-// practice. Lives in package obs_test so it can drive the real nn/compute
-// stack (obs_test → nn → compute → obs is cycle-free).
+// with obs disabled, and the fully traced serving path (request tracing +
+// per-client accounting on) must cost at most the same few percent over
+// untraced serving. Lives in package obs_test so it can drive the real
+// nn/compute/serve stack (obs_test → serve → obs is cycle-free).
 package obs_test
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"math"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 
+	"repro/internal/modelio"
 	"repro/internal/nn"
 	"repro/internal/obs"
+	"repro/internal/serve"
 	"repro/internal/tensor"
 )
 
@@ -57,12 +64,83 @@ func forwardNsPerOp(m *nn.Model, x *tensor.Tensor, rounds int) float64 {
 	return best
 }
 
+// servingBench builds an in-process serving stack for the tracing-overhead
+// measurement: one released model behind the real HTTP handler, MaxBatch 1
+// so every request flushes on arrival (no flush timer, no timing
+// dependence). Returns the server (for EnableTracing) and a ready predict
+// body.
+func servingBench(t *testing.T) (*serve.Server, []byte) {
+	cfg := nn.ResNetConfig{
+		InC: 1, InH: 12, InW: 12, Classes: 10,
+		Widths: []int{6, 12, 24}, Blocks: []int{2, 2, 2}, Seed: 1,
+	}
+	m := nn.NewResNet(cfg)
+	rng := rand.New(rand.NewSource(3))
+	for _, p := range m.Params() {
+		p.Value.RandN(rng, 0, 0.1)
+	}
+	m.ForwardTrain(tensor.New(4, 1, 12, 12).RandN(rng, 0, 1))
+	rm, err := modelio.Export(m, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.bin")
+	if err := modelio.Save(path, rm); err != nil {
+		t.Fatal(err)
+	}
+	reg := serve.NewRegistry(serve.Options{
+		MaxBatch: 1, QueueDepth: 64, FlushEvery: -1, Threads: 1,
+		Obs: obs.NewRegistry(),
+	})
+	t.Cleanup(reg.Close)
+	en, err := reg.LoadFile("bench", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]float64, en.Model().InputLen())
+	for i := range in {
+		in[i] = rng.NormFloat64()
+	}
+	body, err := json.Marshal(map[string]any{"model": "bench", "input": in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serve.NewServer(reg, nil), body
+}
+
+// serveNsPerOp measures one full in-process /v1/predict round trip at the
+// current tracing state, minimum over rounds.
+func serveNsPerOp(t *testing.T, h http.Handler, body []byte, rounds int) float64 {
+	best := math.MaxFloat64
+	for r := 0; r < rounds; r++ {
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				req := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(body))
+				w := httptest.NewRecorder()
+				h.ServeHTTP(w, req)
+				if w.Code != http.StatusOK {
+					b.Fatalf("predict status %d: %s", w.Code, w.Body.String())
+				}
+			}
+		})
+		if v := float64(res.NsPerOp()); v < best {
+			best = v
+		}
+	}
+	return best
+}
+
 type obsBenchReport struct {
 	Threads          int     `json:"threads"`
 	DisabledNsPerOp  float64 `json:"disabled_ns_per_op"`
 	EnabledNsPerOp   float64 `json:"enabled_ns_per_op"`
 	OverheadPct      float64 `json:"overhead_pct"`
 	GuardOverheadPct float64 `json:"guard_overhead_pct"`
+	// Serving measurement: one in-process /v1/predict round trip with
+	// request tracing + per-client accounting off (plain) vs on (traced).
+	ServePlainNsPerOp  float64 `json:"serve_plain_ns_per_op"`
+	ServeTracedNsPerOp float64 `json:"serve_traced_ns_per_op"`
+	ServeOverheadPct   float64 `json:"serve_overhead_pct"`
 }
 
 func TestEmitObsBench(t *testing.T) {
@@ -80,16 +158,35 @@ func TestEmitObsBench(t *testing.T) {
 	obs.Enable(false)
 	obs.Default.Reset()
 
+	// Serving: the same HTTP round trip with request tracing off vs on
+	// (trace records, spans, timing headers, per-client series). obs.Enable
+	// stays off in both so the measurement isolates the tracing layer — the
+	// deep per-dispatch instrumentation is a separate subsystem guarded by
+	// the forward-pass numbers above, and on a single-sample request its
+	// per-dispatch cost would swamp the per-request tracing cost.
+	api, body := servingBench(t)
+	h := api.Handler()
+	api.EnableTracing(false)
+	servePlain := serveNsPerOp(t, h, body, rounds)
+	api.EnableTracing(true)
+	serveTraced := serveNsPerOp(t, h, body, rounds)
+
 	overhead := (enabled - disabled) / disabled * 100
+	serveOverhead := (serveTraced - servePlain) / servePlain * 100
 	rep := obsBenchReport{
-		Threads:          runtime.GOMAXPROCS(0),
-		DisabledNsPerOp:  disabled,
-		EnabledNsPerOp:   enabled,
-		OverheadPct:      overhead,
-		GuardOverheadPct: maxEnabledOverheadPct,
+		Threads:            runtime.GOMAXPROCS(0),
+		DisabledNsPerOp:    disabled,
+		EnabledNsPerOp:     enabled,
+		OverheadPct:        overhead,
+		GuardOverheadPct:   maxEnabledOverheadPct,
+		ServePlainNsPerOp:  servePlain,
+		ServeTracedNsPerOp: serveTraced,
+		ServeOverheadPct:   serveOverhead,
 	}
 	t.Logf("forward pass: disabled %.0f ns/op, enabled %.0f ns/op, overhead %+.2f%%",
 		disabled, enabled, overhead)
+	t.Logf("serving: plain %.0f ns/op, traced %.0f ns/op, overhead %+.2f%%",
+		servePlain, serveTraced, serveOverhead)
 
 	raw, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -102,5 +199,8 @@ func TestEmitObsBench(t *testing.T) {
 
 	if overhead > maxEnabledOverheadPct {
 		t.Fatalf("enabled instrumentation overhead %.2f%% exceeds the %.1f%% guard", overhead, maxEnabledOverheadPct)
+	}
+	if serveOverhead > maxEnabledOverheadPct {
+		t.Fatalf("traced serving overhead %.2f%% exceeds the %.1f%% guard", serveOverhead, maxEnabledOverheadPct)
 	}
 }

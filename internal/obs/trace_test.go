@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// steppingClock returns a clock that advances step per call, starting at
+// base (unlike span_test's manually advanced fakeClock, every read moves
+// time forward, which is what request traces need).
+func steppingClock(base time.Time, step time.Duration) func() time.Time {
+	var mu sync.Mutex
+	cur := base
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		cur = cur.Add(step)
+		return cur
+	}
+}
+
+func TestTraceIDAndHeaderRoundTrip(t *testing.T) {
+	id := NewTraceID()
+	if id.IsZero() {
+		t.Fatal("minted trace ID is zero")
+	}
+	if id2 := NewTraceID(); id2 == id {
+		t.Fatal("two minted trace IDs collide")
+	}
+	parsed, err := ParseTraceID(id.String())
+	if err != nil || parsed != id {
+		t.Fatalf("ParseTraceID(%q) = %v, %v", id.String(), parsed, err)
+	}
+
+	for _, hop := range []string{"", "a0", "a1"} {
+		v := FormatTraceHeader(id, hop)
+		gotID, gotHop, err := ParseTraceHeader(v)
+		if err != nil || gotID != id || gotHop != hop {
+			t.Fatalf("header %q round-tripped to (%v, %q, %v)", v, gotID, gotHop, err)
+		}
+	}
+
+	for _, bad := range []string{"", "xyz", "00112233", strings.Repeat("zz", 16)} {
+		if _, _, err := ParseTraceHeader(bad); err == nil {
+			t.Fatalf("ParseTraceHeader(%q) accepted a malformed value", bad)
+		}
+	}
+}
+
+func TestTimingsRoundTrip(t *testing.T) {
+	ts := []Timing{{"queue", 123}, {"compute", 4567}, {"batch", 4}, {"total", 5000}}
+	v := FormatTimings(ts)
+	if v != "queue=123,compute=4567,batch=4,total=5000" {
+		t.Fatalf("FormatTimings = %q", v)
+	}
+	got := ParseTimings(v)
+	if len(got) != len(ts) {
+		t.Fatalf("ParseTimings returned %d entries, want %d", len(got), len(ts))
+	}
+	for i := range ts {
+		if got[i] != ts[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, got[i], ts[i])
+		}
+	}
+	// Malformed pairs are skipped, not fatal.
+	if got := ParseTimings("queue=12,garbage,=5,x=notanum,compute=9"); len(got) != 2 {
+		t.Fatalf("malformed parse = %+v, want the 2 valid pairs", got)
+	}
+	if ParseTimings("") != nil {
+		t.Fatal("empty header should parse to nil")
+	}
+}
+
+func TestClientFrom(t *testing.T) {
+	cases := []struct{ header, addr, want string }{
+		{"alice", "10.0.0.1:999", "alice"},
+		{"", "10.0.0.1:999", "10.0.0.1"},
+		{"", "nohostport", "nohostport"},
+		{"", "", "unknown"},
+		{strings.Repeat("x", 100), "", strings.Repeat("x", 64)},
+	}
+	for _, c := range cases {
+		if got := ClientFrom(c.header, c.addr); got != c.want {
+			t.Fatalf("ClientFrom(%q, %q) = %q, want %q", c.header, c.addr, got, c.want)
+		}
+	}
+}
+
+func TestRequestTraceSpansAndFinish(t *testing.T) {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	id, _ := ParseTraceID("000102030405060708090a0b0c0d0e0f")
+	tr := NewRequestTrace(id, steppingClock(base, time.Millisecond))
+
+	sp := tr.StartSpan("decode") // start at +2ms (trace start took +1ms)
+	d := sp.End()                // end at +3ms
+	if d != time.Millisecond {
+		t.Fatalf("span duration = %v, want 1ms", d)
+	}
+	tr.SetClient("alice")
+	tr.SetModel("prod")
+	tr.SetBatch(4)
+	tr.SetQueueCompute(10*time.Microsecond, 20*time.Microsecond)
+	rec := tr.Finish(200, "") // +4ms
+
+	if rec.TraceID != id.String() || rec.Client != "alice" || rec.Model != "prod" {
+		t.Fatalf("record identity wrong: %+v", rec)
+	}
+	if rec.DurMicros != 3000 {
+		t.Fatalf("dur = %dµs, want 3000", rec.DurMicros)
+	}
+	if len(rec.Spans) != 1 || rec.Spans[0].Name != "decode" ||
+		rec.Spans[0].StartMicros != 1000 || rec.Spans[0].DurMicros != 1000 {
+		t.Fatalf("spans = %+v", rec.Spans)
+	}
+	if rec.QueueMicros != 10 || rec.ComputeMicros != 20 || rec.Batch != 4 {
+		t.Fatalf("breakdown = %+v", rec)
+	}
+}
+
+// A nil RequestTrace and a nil TraceBuffer must be safe everywhere — the
+// no-tracing serving path relies on it.
+func TestNilTraceNoOps(t *testing.T) {
+	var tr *RequestTrace
+	if !tr.ID().IsZero() {
+		t.Fatal("nil trace has a non-zero ID")
+	}
+	if !tr.Clock().IsZero() {
+		t.Fatal("nil trace clock is non-zero")
+	}
+	tr.SetHop("a0")
+	tr.SetClient("c")
+	tr.SetModel("m")
+	tr.SetDigest("d")
+	tr.SetRetried()
+	tr.SetShed()
+	tr.SetBatch(1)
+	tr.SetQueueCompute(time.Second, time.Second)
+	tr.AddSpan("x", time.Time{}, 0)
+	if d := tr.StartSpan("x").End(); d != 0 {
+		t.Fatalf("nil span duration = %v", d)
+	}
+	if rec := tr.Finish(200, ""); rec.TraceID != "" {
+		t.Fatalf("nil finish = %+v", rec)
+	}
+
+	var b *TraceBuffer
+	b.Add(TraceRecord{})
+	s := b.Snapshot()
+	if s.Total != 0 || len(s.Recent) != 0 {
+		t.Fatalf("nil buffer snapshot = %+v", s)
+	}
+
+	var l *AccessLogger
+	l.Log(TraceRecord{})
+	if NewAccessLogger(nil) != nil {
+		t.Fatal("NewAccessLogger(nil) should be a nil logger")
+	}
+}
+
+func TestTraceBufferEviction(t *testing.T) {
+	b := NewTraceBuffer(4, 2, 3)
+	for i := 1; i <= 10; i++ {
+		rec := TraceRecord{TraceID: fmt.Sprintf("t%d", i), Status: 200, DurMicros: int64(i * 100)}
+		if i%3 == 0 {
+			rec.Status = 500
+		}
+		b.Add(rec)
+	}
+	s := b.Snapshot()
+	if s.Total != 10 {
+		t.Fatalf("total = %d, want 10", s.Total)
+	}
+	// Recent: newest-first, last 4.
+	wantRecent := []string{"t10", "t9", "t8", "t7"}
+	if len(s.Recent) != 4 {
+		t.Fatalf("recent len = %d", len(s.Recent))
+	}
+	for i, w := range wantRecent {
+		if s.Recent[i].TraceID != w {
+			t.Fatalf("recent[%d] = %s, want %s", i, s.Recent[i].TraceID, w)
+		}
+	}
+	// Slowest: top 2 by duration, descending.
+	if len(s.Slowest) != 2 || s.Slowest[0].TraceID != "t10" || s.Slowest[1].TraceID != "t9" {
+		t.Fatalf("slowest = %+v", s.Slowest)
+	}
+	// Errors: the 500s (t3, t6, t9), newest-first, cap 3.
+	wantErrs := []string{"t9", "t6", "t3"}
+	if len(s.Errors) != 3 {
+		t.Fatalf("errors len = %d", len(s.Errors))
+	}
+	for i, w := range wantErrs {
+		if s.Errors[i].TraceID != w {
+			t.Fatalf("errors[%d] = %s, want %s", i, s.Errors[i].TraceID, w)
+		}
+	}
+}
+
+// Concurrent adds and snapshots must be race-free (run under -race by
+// make race-fast).
+func TestTraceBufferConcurrent(t *testing.T) {
+	b := NewTraceBuffer(8, 4, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b.Add(TraceRecord{TraceID: fmt.Sprintf("w%d-%d", w, i), Status: 200 + (i%2)*300, DurMicros: int64(i)})
+				if i%10 == 0 {
+					b.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := b.Snapshot(); s.Total != 800 || len(s.Recent) != 8 {
+		t.Fatalf("after concurrent adds: total=%d recent=%d", s.Total, len(s.Recent))
+	}
+}

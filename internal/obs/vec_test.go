@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCounterVecCardinalityCap(t *testing.T) {
+	reg := NewRegistry()
+	v := NewCounterVec(reg, "serve_client_requests_total", "client", 2)
+
+	v.Get("alice").Inc()
+	v.Get("bob").Inc()
+	v.Get("bob").Inc()
+	// Cap reached: every further distinct client shares the overflow series.
+	v.Get("carol").Inc()
+	v.Get("dave").Inc()
+	// Known values keep resolving to their own series past the cap.
+	v.Get("alice").Inc()
+
+	snap := reg.Snapshot()
+	if got := snap.Counters[`serve_client_requests_total{client="alice"}`]; got != 2 {
+		t.Fatalf("alice = %d, want 2", got)
+	}
+	if got := snap.Counters[`serve_client_requests_total{client="bob"}`]; got != 2 {
+		t.Fatalf("bob = %d, want 2", got)
+	}
+	if got := snap.Counters[`serve_client_requests_total{client="_other"}`]; got != 2 {
+		t.Fatalf("overflow = %d, want 2 (carol+dave)", got)
+	}
+	if _, ok := snap.Counters[`serve_client_requests_total{client="carol"}`]; ok {
+		t.Fatal("carol got her own series past the cap")
+	}
+}
+
+func TestHistogramVecSharedBounds(t *testing.T) {
+	reg := NewRegistry()
+	v := NewHistogramVec(reg, "serve_client_latency_seconds", "client", 1, []float64{0.1, 1})
+	v.Observe("alice", 0.05)
+	v.Observe("bob", 0.5) // over the cap → overflow series
+
+	snap := reg.Snapshot()
+	a := snap.Histograms[`serve_client_latency_seconds{client="alice"}`]
+	if a.Count != 1 || len(a.Bounds) != 2 {
+		t.Fatalf("alice hist = %+v", a)
+	}
+	o := snap.Histograms[`serve_client_latency_seconds{client="_other"}`]
+	if o.Count != 1 {
+		t.Fatalf("overflow hist = %+v", o)
+	}
+}
+
+// Vec lookups are concurrent with registration; run under -race by
+// make race-fast.
+func TestCounterVecConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	v := NewCounterVec(reg, "c_total", "client", 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				v.Get(fmt.Sprintf("client%d", i%12)).Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := int64(0)
+	for name, n := range reg.Snapshot().Counters {
+		_ = name
+		total += n
+	}
+	if total != 400 {
+		t.Fatalf("total across series = %d, want 400", total)
+	}
+}

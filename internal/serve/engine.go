@@ -21,13 +21,28 @@ type Prediction struct {
 	Logits []float64 `json:"logits"`
 }
 
+// Timing is the engine-side breakdown for one answered request, the
+// substrate of request tracing: how long the request waited in the queue
+// before its batch flushed, the batched forward-pass wall time that
+// answered it, and the batch size it rode in. The HTTP layer folds it into
+// trace spans and the X-Dac-Server-Timing response header.
+type Timing struct {
+	QueueWait time.Duration
+	Compute   time.Duration
+	Batch     int
+}
+
 type request struct {
 	input []float64
-	resp  chan result
+	// enq is when Submit enqueued the request; queue wait is measured
+	// against the flush that picks it up.
+	enq  time.Time
+	resp chan result
 }
 
 type result struct {
 	pred Prediction
+	tm   Timing
 	err  error
 }
 
@@ -56,6 +71,10 @@ type Engine struct {
 	stats      *EngineStats
 	stopTicker chan struct{} // nil when FlushEvery < 0
 
+	// now is the engine's clock (time.Now outside tests); the /tracez
+	// golden injects a fake clock for deterministic timings.
+	now func() time.Time
+
 	// beforeFlush, when set (tests only), runs at the start of every flush
 	// while the engine goroutine is busy — the hook deterministic
 	// backpressure tests use to fill the queue behind a stalled engine.
@@ -73,6 +92,7 @@ func newEngine(m *nn.Model, name string, opts Options) *Engine {
 		quit:     make(chan struct{}),
 		done:     make(chan struct{}),
 		stats:    newEngineStats(name, opts),
+		now:      time.Now,
 	}
 	m.SetCtx(e.ctx)
 	go e.loop()
@@ -87,14 +107,23 @@ func newEngine(m *nn.Model, name string, opts Options) *Engine {
 // fails fast with ErrQueueFull when the queue is at capacity and ErrClosed
 // after Close.
 func (e *Engine) Submit(input []float64) (Prediction, error) {
+	pred, _, err := e.SubmitTimed(input)
+	return pred, err
+}
+
+// SubmitTimed is Submit returning the request's timing breakdown (queue
+// wait, batched compute time, batch size) alongside the prediction — what
+// the tracing HTTP layer records as spans and reports in
+// X-Dac-Server-Timing.
+func (e *Engine) SubmitTimed(input []float64) (Prediction, Timing, error) {
 	if len(input) != e.inLen {
-		return Prediction{}, fmt.Errorf("serve: input has %d values, model takes %d", len(input), e.inLen)
+		return Prediction{}, Timing{}, fmt.Errorf("serve: input has %d values, model takes %d", len(input), e.inLen)
 	}
-	r := &request{input: input, resp: make(chan result, 1)}
+	r := &request{input: input, enq: e.now(), resp: make(chan result, 1)}
 	e.mu.RLock()
 	if e.closed {
 		e.mu.RUnlock()
-		return Prediction{}, ErrClosed
+		return Prediction{}, Timing{}, ErrClosed
 	}
 	select {
 	case e.queue <- r:
@@ -103,10 +132,10 @@ func (e *Engine) Submit(input []float64) (Prediction, error) {
 	default:
 		e.mu.RUnlock()
 		e.stats.recordRejected()
-		return Prediction{}, ErrQueueFull
+		return Prediction{}, Timing{}, ErrQueueFull
 	}
 	res := <-r.resp
-	return res.pred, res.err
+	return res.pred, res.tm, res.err
 }
 
 // Tick forces a flush of whatever is pending, blocking until the engine
@@ -212,28 +241,44 @@ func (e *Engine) flush(pending *[]*request) {
 	if e.beforeFlush != nil {
 		e.beforeFlush(len(batch))
 	}
+	flushStart := e.now()
 	inputs := make([][]float64, len(batch))
 	for i, r := range batch {
 		inputs[i] = r.input
 	}
-	start := time.Now()
+	start := e.now()
 	logits, err := e.model.EvalBatch(inputs)
-	lat := time.Since(start)
+	lat := e.now().Sub(start)
 	if err != nil {
 		for _, r := range batch {
-			r.resp <- result{err: err}
+			r.resp <- result{tm: timingFor(r, flushStart, lat, len(batch)), err: err}
 		}
 		e.stats.recordError(len(batch))
 		return
 	}
 	for i, r := range batch {
-		r.resp <- result{pred: Prediction{
-			Class:  argmax(logits[i]),
-			Probs:  softmax(logits[i]),
-			Logits: logits[i],
-		}}
+		r.resp <- result{
+			pred: Prediction{
+				Class:  argmax(logits[i]),
+				Probs:  softmax(logits[i]),
+				Logits: logits[i],
+			},
+			tm: timingFor(r, flushStart, lat, len(batch)),
+		}
 	}
 	e.stats.recordBatch(len(batch), lat)
+}
+
+// timingFor derives one request's Timing from its flush: queue wait is
+// enqueue-to-flush-start (clamped at zero against clock skew), compute is
+// the whole batched forward pass — every rider pays the full pass, which
+// is what it actually waited for.
+func timingFor(r *request, flushStart time.Time, lat time.Duration, batch int) Timing {
+	qw := flushStart.Sub(r.enq)
+	if qw < 0 {
+		qw = 0
+	}
+	return Timing{QueueWait: qw, Compute: lat, Batch: batch}
 }
 
 func (e *Engine) runTicker(every time.Duration) {

@@ -68,6 +68,12 @@ func (en *Entry) Predict(input []float64) (Prediction, error) {
 	return en.engine.Submit(input)
 }
 
+// PredictTimed is Predict returning the engine-side timing breakdown the
+// tracing HTTP layer records (queue wait, batched compute, batch size).
+func (en *Entry) PredictTimed(input []float64) (Prediction, Timing, error) {
+	return en.engine.SubmitTimed(input)
+}
+
 // Model exposes the imported network for weight inspection (the audit
 // endpoint). Forward passes must go through Predict — the engine goroutine
 // owns the model's compute context.

@@ -4,11 +4,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"net/http"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/attack"
 	"repro/internal/obs"
@@ -24,6 +26,7 @@ import (
 //	GET  /healthz                 liveness
 //	GET  /readyz                  readiness (503 while starting/draining)
 //	GET  /statsz                  serving counters (JSON)
+//	GET  /tracez                  recent/slowest/error request traces (JSON)
 //	GET  /metricsz                full obs registry (Prometheus text;
 //	                              ?format=json for the JSON snapshot)
 type Server struct {
@@ -41,6 +44,22 @@ type Server struct {
 	// Liveness (/healthz) is separate — a starting or draining replica is
 	// alive but must not receive new gateway traffic.
 	readiness atomic.Int32
+
+	// tracing gates per-request trace construction on /v1/predict (on by
+	// default; EnableTracing(false) drops the whole path to nil-trace
+	// no-ops). Per-client accounting stays on either way.
+	tracing atomic.Bool
+	// now is the tracing clock (time.Now outside tests; the /tracez golden
+	// injects a fake).
+	now func() time.Time
+	// traces retains completed request traces for GET /tracez.
+	traces *obs.TraceBuffer
+	// accessLog, when set, gets one JSON line per completed predict.
+	accessLog *obs.AccessLogger
+	// Per-client accounting, cardinality-capped at Options.MaxClients.
+	clientReqs *obs.CounterVec
+	clientErrs *obs.CounterVec
+	clientLat  *obs.HistogramVec
 }
 
 // Readiness states, in lifecycle order. A server starts not-ready
@@ -57,20 +76,40 @@ const (
 // NewServer wraps reg. auditBounds may be nil (audit then uses a single
 // group unless the request supplies bounds).
 func NewServer(reg *Registry, auditBounds []int) *Server {
+	opts := reg.Options()
 	s := &Server{
 		reg: reg, auditBounds: auditBounds, mux: http.NewServeMux(),
 		httpRequests: obs.NewCounter(),
+		now:          time.Now,
+		traces:       obs.NewTraceBuffer(0, 0, 0),
+		clientReqs:   obs.NewCounterVec(opts.Obs, "serve_client_requests_total", "client", opts.MaxClients),
+		clientErrs:   obs.NewCounterVec(opts.Obs, "serve_client_errors_total", "client", opts.MaxClients),
+		clientLat:    obs.NewHistogramVec(opts.Obs, "serve_client_latency_seconds", "client", opts.MaxClients, DefaultLatencyBuckets),
 	}
-	reg.Options().Obs.RegisterCounter("serve_http_requests_total", s.httpRequests)
+	s.tracing.Store(true)
+	opts.Obs.RegisterCounter("serve_http_requests_total", s.httpRequests)
 	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("POST /v1/models/{nameop}", s.handleModelOp)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /statsz", s.handleStats)
+	s.mux.HandleFunc("GET /tracez", s.handleTraces)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetrics)
 	return s
 }
+
+// EnableTracing toggles per-request trace construction (on by default).
+// With tracing off, predictions still flow and per-client accounting still
+// counts — only trace records, spans, and the timing response headers stop.
+func (s *Server) EnableTracing(on bool) { s.tracing.Store(on) }
+
+// SetAccessLog directs one structured JSON line per completed predict to w
+// (nil disables). Lines are TraceRecords without spans.
+func (s *Server) SetAccessLog(w io.Writer) { s.accessLog = obs.NewAccessLogger(w) }
+
+// Traces returns the server's completed-trace buffer (what /tracez serves).
+func (s *Server) Traces() *obs.TraceBuffer { return s.traces }
 
 // SetReady marks the server ready: initial model loading is done and
 // /readyz starts answering 200. Idempotent; a draining server stays
@@ -112,57 +151,131 @@ type predictResponse struct {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	client := obs.ClientFrom(r.Header.Get(obs.HeaderClient), r.RemoteAddr)
+	var tr *obs.RequestTrace
+	if s.tracing.Load() {
+		// A malformed or absent X-Dac-Trace yields the zero ID, which mints
+		// a fresh trace — a direct (non-gateway) call still gets traced.
+		id, hop, _ := obs.ParseTraceHeader(r.Header.Get(obs.HeaderTrace))
+		tr = obs.NewRequestTrace(id, s.now)
+		tr.SetClient(client)
+		tr.SetHop(hop)
+	}
+	fail := func(status int, format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		writeTraceError(w, status, tr, msg)
+		s.finishPredict(tr, client, status, msg)
+	}
+	sp := tr.StartSpan("decode")
 	var req predictRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+	err := json.NewDecoder(r.Body).Decode(&req)
+	sp.End()
+	if err != nil {
+		fail(http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
+	tr.SetModel(req.Model)
 	if (req.Input == nil) == (req.Inputs == nil) {
-		httpError(w, http.StatusBadRequest, "exactly one of input/inputs must be set")
+		fail(http.StatusBadRequest, "exactly one of input/inputs must be set")
 		return
 	}
 	en, ok := s.reg.Get(req.Model)
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown model %q", req.Model)
+		fail(http.StatusNotFound, "unknown model %q", req.Model)
 		return
 	}
+	tr.SetDigest(en.Digest)
 	inputs := req.Inputs
 	if req.Input != nil {
 		inputs = [][]float64{req.Input}
 	}
 	if len(inputs) == 0 {
-		httpError(w, http.StatusBadRequest, "empty batch")
+		fail(http.StatusBadRequest, "empty batch")
 		return
 	}
 	// Submit every sample independently so the engine is free to coalesce
 	// them with other requests in flight; the response is all-or-nothing.
+	subStart := tr.Clock()
 	preds := make([]Prediction, len(inputs))
+	tms := make([]Timing, len(inputs))
 	errs := make([]error, len(inputs))
 	var wg sync.WaitGroup
 	for i, in := range inputs {
 		wg.Add(1)
 		go func(i int, in []float64) {
 			defer wg.Done()
-			preds[i], errs[i] = en.Predict(in)
+			preds[i], tms[i], errs[i] = en.PredictTimed(in)
 		}(i, in)
 	}
 	wg.Wait()
+	subEnd := tr.Clock()
+	// The request's breakdown is the worst sample: the response could not
+	// be written before the slowest queue wait and forward pass finished.
+	var qw, cw time.Duration
+	batch := 0
+	for _, tm := range tms {
+		if tm.QueueWait > qw {
+			qw = tm.QueueWait
+		}
+		if tm.Compute > cw {
+			cw = tm.Compute
+		}
+		if tm.Batch > batch {
+			batch = tm.Batch
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			switch {
 			case errors.Is(err, ErrQueueFull):
-				httpError(w, http.StatusTooManyRequests, "%v", err)
+				fail(http.StatusTooManyRequests, "%v", err)
 			case errors.Is(err, ErrClosed):
-				httpError(w, http.StatusServiceUnavailable, "%v", err)
+				fail(http.StatusServiceUnavailable, "%v", err)
 			default:
-				httpError(w, http.StatusBadRequest, "%v", err)
+				fail(http.StatusBadRequest, "%v", err)
 			}
 			return
 		}
 	}
+	if tr != nil {
+		tr.AddSpan("predict", subStart, subEnd.Sub(subStart))
+		tr.AddSpan("predict/queue", subStart, qw)
+		tr.AddSpan("predict/compute", subStart.Add(qw), cw)
+		tr.SetBatch(batch)
+		tr.SetQueueCompute(qw, cw)
+		w.Header().Set(obs.HeaderTrace, tr.ID().String())
+		w.Header().Set(obs.HeaderServerTiming, obs.FormatTimings([]obs.Timing{
+			{Name: "queue", Value: qw.Microseconds()},
+			{Name: "compute", Value: cw.Microseconds()},
+			{Name: "batch", Value: int64(batch)},
+			{Name: "total", Value: subEnd.Sub(subStart).Microseconds()},
+		}))
+	}
 	writeJSON(w, http.StatusOK, predictResponse{
 		Model: en.Name, Digest: en.Digest, Predictions: preds,
 	})
+	s.finishPredict(tr, client, http.StatusOK, "")
+}
+
+// finishPredict closes out one predict request: per-client accounting
+// (always), then — when tracing — the finished record goes to the trace
+// buffer and the access log.
+func (s *Server) finishPredict(tr *obs.RequestTrace, client string, status int, errMsg string) {
+	s.clientReqs.Get(client).Inc()
+	if status >= 400 {
+		s.clientErrs.Get(client).Inc()
+	}
+	if tr == nil {
+		return
+	}
+	rec := tr.Finish(status, errMsg)
+	s.clientLat.Observe(client, float64(rec.DurMicros)/1e6)
+	s.traces.Add(rec)
+	s.accessLog.Log(rec)
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.traces.Snapshot())
 }
 
 type modelInfo struct {
@@ -363,4 +476,16 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeTraceError is httpError with the request's trace ID folded into the
+// error body and echoed in the X-Dac-Trace response header, so a failed
+// call is correlatable against /tracez after the fact.
+func writeTraceError(w http.ResponseWriter, status int, tr *obs.RequestTrace, msg string) {
+	if tr == nil {
+		writeJSON(w, status, map[string]string{"error": msg})
+		return
+	}
+	w.Header().Set(obs.HeaderTrace, tr.ID().String())
+	writeJSON(w, status, map[string]string{"error": msg, "trace_id": tr.ID().String()})
 }
