@@ -15,7 +15,7 @@ race:
 # pool at several thread counts; internal/gateway for the fleet-routing
 # tests (concurrent probes, rolling reloads, and hot-swap under fire).
 race-fast:
-	go test -race ./internal/compute/ ./internal/nn/ ./internal/train/ ./internal/serve/ ./internal/obs/ ./internal/quantize/ ./internal/gateway/
+	go test -race ./internal/compute/ ./internal/nn/ ./internal/train/ ./internal/serve/ ./internal/obs/ ./internal/quantize/ ./internal/gateway/ ./internal/api/ ./internal/extract/
 
 vet:
 	go vet ./...
@@ -51,6 +51,15 @@ serve-quant-bench:
 gateway-bench:
 	go test ./internal/gateway/ -run '^TestEmitGatewayBench$$' -count=1 -v -timeout 20m -args -emit-bench=$(CURDIR)/BENCH_gateway.json
 
+# Model-extraction attack vs serving defenses written to
+# BENCH_extract.json: the same budget-2000 prior-strategy attack run
+# undefended and under each per-model policy (rounding, top-1, label-only,
+# query budget). Fails unless the undefended surrogate reaches >= 80% top-1
+# agreement with the victim and at least one defense cuts agreement by
+# >= 10 points at equal budget.
+extract-bench:
+	go test ./internal/extract/ -run '^TestEmitExtractBench$$' -count=1 -v -timeout 30m -args -emit-bench=$(CURDIR)/BENCH_extract.json
+
 # Observability overhead guard: instrumented-vs-uninstrumented forward pass
 # written to BENCH_obs.json; fails if enabling obs costs more than 2%.
 obs-bench:
@@ -63,4 +72,4 @@ obs-bench:
 pipeline-bench:
 	go test ./internal/experiments/ -run '^TestEmitPipelineBench$$' -count=1 -v -args -emit-bench=$(CURDIR)/BENCH_pipeline.json
 
-.PHONY: check race race-fast vet bench serve-bench kernels-bench serve-quant-bench gateway-bench obs-bench pipeline-bench
+.PHONY: check race race-fast vet bench serve-bench kernels-bench serve-quant-bench gateway-bench obs-bench pipeline-bench extract-bench

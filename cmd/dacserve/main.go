@@ -40,6 +40,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -72,6 +73,20 @@ func (m *modelFlags) Set(v string) error {
 	return nil
 }
 
+// policyFlags collects repeated -policy name=JSON pairs in order.
+type policyFlags []struct{ name, spec string }
+
+func (p *policyFlags) String() string { return fmt.Sprintf("%d policies", len(*p)) }
+
+func (p *policyFlags) Set(v string) error {
+	name, spec, ok := strings.Cut(v, "=")
+	if !ok || name == "" || spec == "" {
+		return fmt.Errorf(`want name={"mode":...}, got %q`, v)
+	}
+	*p = append(*p, struct{ name, spec string }{name, spec})
+	return nil
+}
+
 // pullFlags collects repeated -pull name=digest pairs in order.
 type pullFlags []struct{ name, digest string }
 
@@ -90,8 +105,10 @@ func main() {
 	preset := core.CIFARRelease()
 	var models modelFlags
 	var pulls pullFlags
+	var policies policyFlags
 	flag.Var(&models, "model", "model to serve as name=path (repeatable)")
 	flag.Var(&pulls, "pull", "model to pull from -store as name=digest (repeatable)")
+	flag.Var(&policies, "policy", `serving defense policy as name={"mode":"top1","round":2,"query_budget":500} (repeatable; also settable at runtime via POST /v1/models/{name}:policy)`)
 	modelsDir := flag.String("models", "", "directory of released models; files are sniffed by header, served under file name minus extension")
 	storeDir := flag.String("store", "", "artifact store of published releases; enables -pull and the :load endpoint (digest-based distribution)")
 	native := flag.Bool("native", false, "serve quantized releases codebook-native (LUT kernels over released indices; bit-identical, lower resident memory)")
@@ -194,6 +211,16 @@ func main() {
 			fatal(err)
 		}
 		announce(en)
+	}
+	for _, pf := range policies {
+		var pol serve.Policy
+		if err := json.Unmarshal([]byte(pf.spec), &pol); err != nil {
+			fatal(fmt.Errorf("bad -policy %s: %w", pf.name, err))
+		}
+		if err := reg.SetPolicy(pf.name, pol); err != nil {
+			fatal(fmt.Errorf("bad -policy %s: %w", pf.name, err))
+		}
+		fmt.Printf("policy %q: mode=%s round=%d query_budget=%d\n", pf.name, pol.Mode, pol.Round, pol.QueryBudget)
 	}
 	api.SetReady()
 	fmt.Printf("serving %d model(s) on %s (ready)\n", loaded, *listen)

@@ -1,0 +1,190 @@
+// Command dacsteal runs the model-extraction attack against a live
+// dacserve or dacgateway prediction endpoint — the query-only adversary of
+// the serving threat model. It spends a bounded query budget harvesting
+// input→output pairs over the public /v1 API, distills a surrogate network
+// from them, and reports how faithfully the surrogate imitates the victim:
+//
+//	dacsteal -url http://localhost:8080 -model prod \
+//	    -budget 2000 -strategy prior -victim released.bin -out report.json
+//
+// The victim's input shape and class count are read off GET /v1/models
+// (reconnaissance the API hands out for free); the surrogate architecture
+// is the shared CIFAR preset resized to that shape. -strategy picks how
+// queries are synthesized: "random" (uniform pixels, zero knowledge),
+// "jitter" (Gaussian perturbations of attacker-held samples), or "prior"
+// (draws from an attacker-side synthetic dataset — strongest per query).
+//
+// With -victim pointing at the defender's reference copy of the released
+// model, the report includes top-1 agreement and test-accuracy fidelity
+// metrics computed offline (no extra queries). Without it, only the spend
+// and harvest are reported. -save-surrogate writes the stolen model as a
+// released model file, loadable by dacserve like any other.
+//
+// The run is deterministic in -seed: same endpoint state, same budget,
+// same strategy, same seed — same surrogate, same report.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/extract"
+	"repro/internal/modelio"
+	"repro/internal/nn"
+)
+
+func main() {
+	url := flag.String("url", "", "base URL of the victim endpoint (dacserve or dacgateway)")
+	model := flag.String("model", "prod", "victim model name")
+	clientID := flag.String("client", "dacsteal", "client identity sent as X-Dac-Client")
+	budget := flag.Int("budget", 2000, "total victim samples the attacker spends")
+	batch := flag.Int("batch", 64, "samples per predict request")
+	strategy := flag.String("strategy", "prior", "query synthesis: random, jitter, or prior")
+	jitterSigma := flag.Float64("jitter-sigma", 0.05, "per-pixel noise std for -strategy jitter")
+	poolN := flag.Int("pool", 2000, "attacker-side sample pool size (jitter seeds / prior draws)")
+	seed := flag.Int64("seed", 1, "RNG seed for query synthesis and distillation")
+	dataSeed := flag.Int64("data-seed", 4242, "seed of the attacker's own synthetic data pool")
+	epochs := flag.Int("epochs", 30, "distillation epochs over the harvest")
+	lr := flag.Float64("lr", 0.003, "distillation Adam learning rate")
+	trainBatch := flag.Int("train-batch", 32, "distillation minibatch size")
+	threads := flag.Int("threads", 0, "surrogate compute threads (0 = all cores)")
+	victimPath := flag.String("victim", "", "defender's reference copy of the released model (enables fidelity metrics)")
+	evalN := flag.Int("eval-n", 1000, "held-out evaluation samples for fidelity metrics")
+	evalSeed := flag.Int64("eval-seed", 777, "seed of the held-out evaluation set")
+	saveSurrogate := flag.String("save-surrogate", "", "write the stolen surrogate as a released model file")
+	out := flag.String("out", "", "JSON report destination (default stdout)")
+	flag.Parse()
+	if *url == "" {
+		fatal(fmt.Errorf("-url is required"))
+	}
+
+	client := extract.NewClient(*url, *model, *clientID)
+	shape, err := client.Shape()
+	if err != nil {
+		fatal(err)
+	}
+	if len(shape.InputShape) != 3 {
+		fatal(fmt.Errorf("victim input shape %v is not C,H,W", shape.InputShape))
+	}
+	c, h, w := shape.InputShape[0], shape.InputShape[1], shape.InputShape[2]
+	fmt.Fprintf(os.Stderr, "victim %q: input %dx%dx%d, %d classes, digest %s\n",
+		shape.Name, c, h, w, shape.Classes, short(shape.Digest))
+
+	// The surrogate is the shared preset architecture resized to the
+	// victim's advertised shape — the attacker's guess, not the victim's
+	// actual architecture.
+	preset := core.CIFARRelease()
+	arch := preset.ArchConfig(*seed)
+	arch.InC, arch.InH, arch.InW, arch.Classes = c, h, w, shape.Classes
+
+	// The attacker's own data pool: a synthetic dataset in the victim's
+	// geometry under the attacker's seed — in-distribution knowledge the
+	// jitter and prior strategies assume, disjoint from anything the
+	// victim trained on.
+	var pool [][]float64
+	if *strategy != "random" {
+		cfg := preset.DataConfig(*poolN, *dataSeed)
+		cfg.H, cfg.W, cfg.Classes = h, w, shape.Classes
+		cfg.RGB = c == 3
+		px, _ := dataset.SyntheticCIFAR(cfg).Tensors()
+		pool = tensorRows(px)
+	}
+	strat, err := extract.ByName(*strategy, c*h*w, pool, *jitterSigma)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := extract.Config{
+		Budget: *budget, BatchSize: *batch, Strategy: strat, Seed: *seed,
+		Surrogate: arch, Epochs: *epochs, LR: *lr, TrainBatch: *trainBatch,
+		Threads: *threads,
+	}
+
+	var rep *extract.Report
+	var surrogate *nn.Model
+	if *victimPath != "" {
+		rm, _, err := modelio.LoadWithDigest(*victimPath)
+		if err != nil {
+			fatal(err)
+		}
+		victimModel, _, err := modelio.Import(rm)
+		if err != nil {
+			fatal(err)
+		}
+		ecfg := preset.DataConfig(*evalN, *evalSeed)
+		ecfg.H, ecfg.W, ecfg.Classes = h, w, shape.Classes
+		ecfg.RGB = c == 3
+		testX, testY := dataset.SyntheticCIFAR(ecfg).Tensors()
+		rep, surrogate, err = extract.Run(client, victimModel, testX, testY, cfg)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		harvest, err := extract.HarvestQueries(client, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		surrogate = extract.Distill(harvest, cfg)
+		rep = &extract.Report{
+			Strategy: strat.Name(), Budget: *budget,
+			Queries: harvest.Queries, Requests: harvest.Requests,
+			Harvested: len(harvest.Inputs), Denied: harvest.Denied,
+			SoftLabels: harvest.Soft, Mode: harvest.Mode,
+		}
+	}
+
+	if *saveSurrogate != "" {
+		rm, err := modelio.Export(surrogate, arch, nil)
+		if err != nil {
+			fatal(err)
+		}
+		if err := modelio.Save(*saveSurrogate, rm); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "surrogate saved to %s\n", *saveSurrogate)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "report written to %s\n", *out)
+}
+
+// tensorRows slices an (N, sample) tensor into per-row float slices.
+func tensorRows(x interface {
+	Data() []float64
+	Dim(int) int
+}) [][]float64 {
+	n := x.Dim(0)
+	d := x.Data()
+	sample := len(d) / n
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = d[i*sample : (i+1)*sample]
+	}
+	return rows
+}
+
+func short(digest string) string {
+	if len(digest) > 12 {
+		return digest[:12]
+	}
+	return digest
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dacsteal:", err)
+	os.Exit(1)
+}

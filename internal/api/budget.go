@@ -1,0 +1,74 @@
+package api
+
+import "sync"
+
+// budgetMaxKeys caps the ledger's (model, client) key space; past it,
+// new clients share one overflow key per model, so an attacker rotating
+// client identities cannot grow server memory without bound (they share
+// the overflow budget instead — strictly worse for them).
+const budgetMaxKeys = 4096
+
+// BudgetLedger counts per-(model, client) prediction samples for query
+// budget enforcement — the defense that caps how much of a model an
+// extraction attacker can observe. Both tiers use one: the replica
+// enforces its registry policies, the gateway enforces at the edge from
+// the budgets it learned during :policy pass-through. Admission is
+// check-and-count under one lock, so concurrent requests cannot
+// collectively overshoot a budget.
+type BudgetLedger struct {
+	mu   sync.Mutex
+	used map[string]int
+}
+
+// NewBudgetLedger returns an empty ledger.
+func NewBudgetLedger() *BudgetLedger {
+	return &BudgetLedger{used: map[string]int{}}
+}
+
+func budgetKey(model, client string) string { return model + "\x00" + client }
+
+// Allow reports whether client may spend n more samples against model
+// under the given budget, counting them when it does. Samples are charged
+// at admission — before any compute — and are not refunded on downstream
+// failure (a failed forward still leaked queue pressure). budget <= 0
+// means no cap (nothing is counted).
+func (l *BudgetLedger) Allow(model, client string, n, budget int) bool {
+	if budget <= 0 {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	key := budgetKey(model, client)
+	if _, ok := l.used[key]; !ok && len(l.used) >= budgetMaxKeys {
+		key = budgetKey(model, OverflowClient)
+	}
+	if l.used[key]+n > budget {
+		return false
+	}
+	l.used[key] += n
+	return true
+}
+
+// OverflowClient is the shared identity clients collapse into once the
+// ledger's key cap is reached (mirrors the obs vec overflow label).
+const OverflowClient = "_other"
+
+// Used reports the samples client has spent against model.
+func (l *BudgetLedger) Used(model, client string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.used[budgetKey(model, client)]
+}
+
+// Reset clears every client's spend against model — called when the
+// model's policy changes, so a new budget starts from zero.
+func (l *BudgetLedger) Reset(model string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	prefix := model + "\x00"
+	for k := range l.used {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			delete(l.used, k)
+		}
+	}
+}

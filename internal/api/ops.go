@@ -1,0 +1,43 @@
+package api
+
+import (
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// ModelOpHandler handles one POST /v1/models/{name}:{op} operation after
+// the path has been split and the op resolved.
+type ModelOpHandler func(w http.ResponseWriter, r *http.Request, name string)
+
+// SplitModelOp splits a {name}:{op} path value around its final colon,
+// so model names containing colons keep working. ok is false when there
+// is no colon, or name/op is empty.
+func SplitModelOp(nameop string) (name, op string, ok bool) {
+	i := strings.LastIndex(nameop, ":")
+	if i <= 0 || i == len(nameop)-1 {
+		return "", "", false
+	}
+	return nameop[:i], nameop[i+1:], true
+}
+
+// DispatchModelOp resolves a {name}:{op} path value against a handler
+// table — the single op parser both servers route model operations
+// through. A path that does not parse, or an op with no handler, answers
+// 404 with the unified envelope listing the ops that do exist.
+func DispatchModelOp(w http.ResponseWriter, r *http.Request, nameop string, ops map[string]ModelOpHandler) {
+	name, op, ok := SplitModelOp(nameop)
+	if ok {
+		if h, known := ops[op]; known {
+			h(w, r, name)
+			return
+		}
+	}
+	known := make([]string, 0, len(ops))
+	for k := range ops {
+		known = append(known, ":"+k)
+	}
+	sort.Strings(known)
+	WriteError(w, http.StatusNotFound, CodeNotFound, "",
+		"unknown model operation %q (want {name}%s)", nameop, strings.Join(known, " or {name}"))
+}

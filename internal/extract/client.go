@@ -1,0 +1,145 @@
+// Package extract implements the model-extraction attacker of the serving
+// threat model: a client that only sees the prediction API. Where the
+// attack package hides payloads inside released weights, this package
+// steals the function of a deployed model — it spends a bounded query
+// budget harvesting input→output pairs from a live dacserve or dacgateway
+// endpoint and distills a surrogate network from them, then reports how
+// faithfully the surrogate imitates the victim. The serve package's
+// per-model policies (rounding, top-1/label-only answers, query budgets)
+// are the defenses this attacker measures.
+//
+// Everything is deterministic under a seeded RNG: the same victim, budget,
+// strategy, and seed produce the same surrogate and the same report, which
+// is what lets BENCH_extract.json gate defenses in CI.
+package extract
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/api"
+	"repro/internal/obs"
+)
+
+// Victim is the attacker's view of the target: a prediction API and
+// nothing else. Predict returns the per-sample predictions and the
+// response's policy mode ("" full, "top1", "label").
+type Victim interface {
+	Predict(inputs [][]float64) ([]api.Prediction, string, error)
+}
+
+// Client is the HTTP Victim: it speaks the /v1 predict surface of dacserve
+// and dacgateway (the bodies are identical by design) under a stable
+// client identity, so the defender's per-client accounting, budgets, and
+// extraction detector all see the attacker coming.
+type Client struct {
+	// BaseURL is the endpoint root (no trailing slash), Model the registry
+	// name under attack.
+	BaseURL string
+	// Model names the victim model.
+	Model string
+	// ClientID is sent as X-Dac-Client on every request. Empty means the
+	// server falls back to the remote address.
+	ClientID string
+	// HTTP is the transport; nil selects http.DefaultClient.
+	HTTP *http.Client
+
+	// Requests and Queries count what the client has spent: HTTP calls
+	// made and samples submitted (including ones the server denied).
+	Requests int
+	Queries  int
+}
+
+// NewClient builds a client against baseURL for model, identifying as
+// clientID.
+func NewClient(baseURL, model, clientID string) *Client {
+	return &Client{BaseURL: baseURL, Model: model, ClientID: clientID}
+}
+
+// Predict submits one batch to the victim. A non-200 answer decodes the
+// unified error envelope and returns it as the error, so callers can
+// branch on api.Error codes (budget_exhausted in particular).
+func (c *Client) Predict(inputs [][]float64) ([]api.Prediction, string, error) {
+	body, err := json.Marshal(api.PredictRequest{API: api.Version, Model: c.Model, Inputs: inputs})
+	if err != nil {
+		return nil, "", err
+	}
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	req, err := http.NewRequest(http.MethodPost, c.BaseURL+"/v1/predict", bytes.NewReader(body))
+	if err != nil {
+		return nil, "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if c.ClientID != "" {
+		req.Header.Set(obs.HeaderClient, c.ClientID)
+	}
+	c.Requests++
+	c.Queries += len(inputs)
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return nil, "", fmt.Errorf("extract: predict: %w", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, "", fmt.Errorf("extract: predict: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		if e, perr := api.ParseError(raw); perr == nil {
+			return nil, "", e
+		}
+		return nil, "", fmt.Errorf("extract: predict answered %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	var pr api.PredictResponse
+	if err := json.Unmarshal(raw, &pr); err != nil {
+		return nil, "", fmt.Errorf("extract: bad predict response: %w", err)
+	}
+	if len(pr.Predictions) != len(inputs) {
+		return nil, "", fmt.Errorf("extract: %d predictions for %d inputs", len(pr.Predictions), len(inputs))
+	}
+	return pr.Predictions, pr.Mode, nil
+}
+
+// ModelShape is the victim metadata the attacker reads off GET /v1/models
+// before the first query: enough to size the surrogate.
+type ModelShape struct {
+	Name       string `json:"name"`
+	Digest     string `json:"digest"`
+	InputShape []int  `json:"input_shape"`
+	Classes    int    `json:"classes"`
+}
+
+// Shape fetches the victim's input shape and class count from the public
+// model list — reconnaissance the API hands out for free.
+func (c *Client) Shape() (ModelShape, error) {
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	resp, err := httpc.Get(c.BaseURL + "/v1/models")
+	if err != nil {
+		return ModelShape{}, fmt.Errorf("extract: models: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ModelShape{}, fmt.Errorf("extract: models answered %d", resp.StatusCode)
+	}
+	var wrapper struct {
+		Models []ModelShape `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&wrapper); err != nil {
+		return ModelShape{}, fmt.Errorf("extract: bad models response: %w", err)
+	}
+	for _, m := range wrapper.Models {
+		if m.Name == c.Model {
+			return m, nil
+		}
+	}
+	return ModelShape{}, fmt.Errorf("extract: model %q not in the server's list", c.Model)
+}

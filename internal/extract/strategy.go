@@ -1,0 +1,111 @@
+package extract
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Strategy synthesizes the attacker's query inputs. Next draws n flattened
+// samples from the strategy's distribution using rng — all randomness
+// flows through that one RNG, so a harvest is reproducible from its seed.
+type Strategy interface {
+	Name() string
+	Next(rng *rand.Rand, n int) [][]float64
+}
+
+// randomStrategy draws i.i.d. uniform pixels in [0, 1) — the zero-knowledge
+// attacker. Cheap and unblockable, but far off the data manifold: batch
+// norm statistics answer garbage for it, so its surrogates trail the
+// informed strategies (the classic Tramèr-style baseline).
+type randomStrategy struct{ sampleLen int }
+
+// NewRandom builds the uniform-random strategy for flattened samples of
+// sampleLen values.
+func NewRandom(sampleLen int) Strategy { return randomStrategy{sampleLen} }
+
+func (s randomStrategy) Name() string { return "random" }
+
+func (s randomStrategy) Next(rng *rand.Rand, n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		in := make([]float64, s.sampleLen)
+		for j := range in {
+			in[j] = rng.Float64()
+		}
+		out[i] = in
+	}
+	return out
+}
+
+// jitterStrategy perturbs seed samples with Gaussian pixel noise: the
+// attacker holds a handful of in-domain images and multiplies them into
+// unlimited near-manifold queries. Every jittered sample is bit-distinct,
+// which is exactly what the serve detector's novelty heuristic keys on.
+type jitterStrategy struct {
+	seeds [][]float64
+	sigma float64
+}
+
+// NewJitter builds the seed-jitter strategy. sigma is the per-pixel noise
+// std in [0,1] pixel units; <= 0 selects 0.05.
+func NewJitter(seeds [][]float64, sigma float64) Strategy {
+	if sigma <= 0 {
+		sigma = 0.05
+	}
+	return jitterStrategy{seeds: seeds, sigma: sigma}
+}
+
+func (s jitterStrategy) Name() string { return "jitter" }
+
+func (s jitterStrategy) Next(rng *rand.Rand, n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		seed := s.seeds[rng.Intn(len(s.seeds))]
+		in := make([]float64, len(seed))
+		for j, v := range seed {
+			in[j] = v + rng.NormFloat64()*s.sigma
+		}
+		out[i] = in
+	}
+	return out
+}
+
+// priorStrategy draws (with replacement) from a pool of in-distribution
+// samples the attacker owns — the dataset-prior attacker, strongest per
+// query because every probe sits on the victim's data manifold.
+type priorStrategy struct{ pool [][]float64 }
+
+// NewPrior builds the dataset-prior strategy over pool.
+func NewPrior(pool [][]float64) Strategy { return priorStrategy{pool} }
+
+func (s priorStrategy) Name() string { return "prior" }
+
+func (s priorStrategy) Next(rng *rand.Rand, n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		src := s.pool[rng.Intn(len(s.pool))]
+		out[i] = append([]float64(nil), src...)
+	}
+	return out
+}
+
+// ByName resolves a strategy from its CLI name. sampleLen sizes random
+// queries; pool feeds jitter (as seeds) and prior (as the draw pool).
+func ByName(name string, sampleLen int, pool [][]float64, jitterSigma float64) (Strategy, error) {
+	switch name {
+	case "random":
+		return NewRandom(sampleLen), nil
+	case "jitter":
+		if len(pool) == 0 {
+			return nil, fmt.Errorf("extract: jitter strategy needs seed samples")
+		}
+		return NewJitter(pool, jitterSigma), nil
+	case "prior":
+		if len(pool) == 0 {
+			return nil, fmt.Errorf("extract: prior strategy needs a sample pool")
+		}
+		return NewPrior(pool), nil
+	default:
+		return nil, fmt.Errorf("extract: unknown strategy %q (want random, jitter, or prior)", name)
+	}
+}

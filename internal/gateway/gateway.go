@@ -35,6 +35,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/obs"
 )
 
@@ -125,6 +126,11 @@ type Gateway struct {
 	replicas    []*Replica
 	ring        *ring
 	assignments map[string]string // model name → release digest
+	// budgets holds per-model query budgets learned from :policy
+	// pass-through, enforced at the edge through budget so an extraction
+	// client exhausts its allowance without ever reaching a replica.
+	budgets map[string]int
+	budget  *api.BudgetLedger
 
 	// Gateway-level metrics (fresh instances on opts.Obs).
 	requests   *obs.Counter // predict requests entering the gateway
@@ -158,6 +164,8 @@ func New(opts Options) *Gateway {
 		opts:         opts,
 		ring:         buildRing(nil),
 		assignments:  map[string]string{},
+		budgets:      map[string]int{},
+		budget:       api.NewBudgetLedger(),
 		requests:     obs.NewCounter(),
 		retries:      obs.NewCounter(),
 		sheds:        obs.NewCounter(),
@@ -374,6 +382,28 @@ func (g *Gateway) SetAssignment(name, digest string) {
 		return
 	}
 	g.assignments[name] = digest
+}
+
+// setEdgeBudget records (or, with budget <= 0, clears) the per-client
+// query budget the gateway enforces at the edge for model, re-arming every
+// client's spend — called after a :policy set fans out, so edge and
+// replica budgets restart together.
+func (g *Gateway) setEdgeBudget(model string, budget int) {
+	g.mu.Lock()
+	if budget <= 0 {
+		delete(g.budgets, model)
+	} else {
+		g.budgets[model] = budget
+	}
+	g.mu.Unlock()
+	g.budget.Reset(model)
+}
+
+// edgeBudget returns the edge-enforced query budget for model (0 = none).
+func (g *Gateway) edgeBudget(model string) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.budgets[model]
 }
 
 // Assignments returns a copy of the advertised {model name → digest} map.

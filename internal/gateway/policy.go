@@ -1,0 +1,78 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// policyReplicaResult is one replica's answer to a fanned-out :policy
+// operation.
+type policyReplicaResult struct {
+	Replica string `json:"replica"`
+	Status  int    `json:"status"`
+	// Error is the transport failure when the replica was unreachable
+	// (Status is then 0).
+	Error string `json:"error,omitempty"`
+	// Response is the replica's JSON answer, relayed verbatim.
+	Response json.RawMessage `json:"response,omitempty"`
+}
+
+// fanoutPolicy forwards one :policy request body (empty for a get) to
+// every eligible replica concurrently and collects their answers, sorted
+// by replica ID for deterministic output. The gateway holds no policy
+// state of its own beyond the edge budget — replicas are the source of
+// truth, the gateway is the fleet-wide switch.
+func (g *Gateway) fanoutPolicy(ctx context.Context, model string, body []byte) []policyReplicaResult {
+	var eligible []*Replica
+	for _, rep := range g.Replicas() {
+		if rep.eligible() {
+			eligible = append(eligible, rep)
+		}
+	}
+	results := make([]policyReplicaResult, len(eligible))
+	var wg sync.WaitGroup
+	for i, rep := range eligible {
+		wg.Add(1)
+		go func(i int, rep *Replica) {
+			defer wg.Done()
+			results[i] = g.pushPolicy(ctx, rep, model, body)
+		}(i, rep)
+	}
+	wg.Wait()
+	sort.Slice(results, func(i, j int) bool { return results[i].Replica < results[j].Replica })
+	return results
+}
+
+// pushPolicy forwards the :policy body to one replica.
+func (g *Gateway) pushPolicy(ctx context.Context, rep *Replica, model string, body []byte) policyReplicaResult {
+	out := policyReplicaResult{Replica: rep.ID}
+	ctx, cancel := context.WithTimeout(ctx, g.opts.RequestTimeout)
+	defer cancel()
+	url := rep.BaseURL + "/v1/models/" + model + ":policy"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		out.Error = err.Error()
+		return out
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.opts.Client.Do(req)
+	if err != nil {
+		rep.noteFailure(err)
+		out.Error = err.Error()
+		return out
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		out.Error = err.Error()
+		return out
+	}
+	out.Status = resp.StatusCode
+	out.Response = json.RawMessage(bytes.TrimSpace(raw))
+	return out
+}

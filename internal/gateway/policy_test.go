@@ -1,0 +1,186 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/obs"
+)
+
+// postJSON posts body to url under the given client identity and returns
+// the status and raw response bytes.
+func postJSON(t *testing.T, url, client string, body []byte) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if client != "" {
+		req.Header.Set(obs.HeaderClient, client)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+// twoReplicaFleet starts two replicas serving the same released file under
+// "prod" behind a gateway.
+func twoReplicaFleet(t *testing.T) (*Gateway, string, []*testReplica) {
+	t.Helper()
+	path := writeReleased(t, 1, false)
+	r1 := startReplica(t, "r1", nil)
+	r2 := startReplica(t, "r2", nil)
+	for _, r := range []*testReplica{r1, r2} {
+		if _, err := r.reg.LoadFile("prod", path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := testGateway(t, Options{}, r1, r2)
+	ts := gatewayServer(t, g)
+	return g, ts.URL, []*testReplica{r1, r2}
+}
+
+// TestDefendedResponsesDeterministicAcrossReplicas is the defended-response
+// determinism e2e: one gateway :policy call flips a defense on every
+// replica, and the defended (rounded, top-1-only) answers are
+// byte-identical across replicas and across repeats — rounding is done in
+// one place, one way.
+func TestDefendedResponsesDeterministicAcrossReplicas(t *testing.T) {
+	_, gwURL, reps := twoReplicaFleet(t)
+
+	// Get before set: fan-out reads both replicas, policy inactive.
+	status, raw := postJSON(t, gwURL+"/v1/models/prod:policy", "", nil)
+	if status != http.StatusOK {
+		t.Fatalf("policy get answered %d: %s", status, raw)
+	}
+	var got struct {
+		Replicas int `json:"replicas"`
+		Results  []struct {
+			Replica  string          `json:"replica"`
+			Status   int             `json:"status"`
+			Response json.RawMessage `json:"response"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Replicas != 2 || len(got.Results) != 2 {
+		t.Fatalf("policy get reached %d replicas, want 2: %s", got.Replicas, raw)
+	}
+
+	body := predictBody(t, "prod", testInputs(1, 64, 3)[0])
+	for _, tc := range []struct {
+		name   string
+		policy string
+		mode   string
+	}{
+		{"rounding", `{"round":4}`, ""},
+		{"top1", `{"mode":"top1","round":3}`, "top1"},
+		{"label", `{"mode":"label"}`, "label"},
+	} {
+		status, raw := postJSON(t, gwURL+"/v1/models/prod:policy", "", []byte(tc.policy))
+		if status != http.StatusOK {
+			t.Fatalf("%s: policy set answered %d: %s", tc.name, status, raw)
+		}
+		// Hot-swapped, no restart: both replicas answer the defended form,
+		// byte-identical to each other and across repeats.
+		var want []byte
+		for round := 0; round < 3; round++ {
+			for _, r := range reps {
+				status, ans := postJSON(t, r.ts.URL+"/v1/predict", "det-check", body)
+				if status != http.StatusOK {
+					t.Fatalf("%s: replica %s answered %d: %s", tc.name, r.id, status, ans)
+				}
+				if want == nil {
+					want = ans
+				} else if !bytes.Equal(ans, want) {
+					t.Fatalf("%s: replica %s diverged:\n got %s\nwant %s", tc.name, r.id, ans, want)
+				}
+			}
+		}
+		// The gateway relays the replica body verbatim, so the routed answer
+		// is the same bytes again.
+		status, ans := postJSON(t, gwURL+"/v1/predict", "det-check", body)
+		if status != http.StatusOK || !bytes.Equal(ans, want) {
+			t.Fatalf("%s: gateway answer (status %d) diverged:\n got %s\nwant %s", tc.name, status, ans, want)
+		}
+		var pr api.PredictResponse
+		if err := json.Unmarshal(ans, &pr); err != nil {
+			t.Fatal(err)
+		}
+		if pr.Mode != tc.mode {
+			t.Fatalf("%s: mode = %q, want %q", tc.name, pr.Mode, tc.mode)
+		}
+		if tc.mode != "" && len(pr.Predictions[0].Probs) != 0 {
+			t.Fatalf("%s: defended answer leaked probs: %s", tc.name, ans)
+		}
+	}
+}
+
+// TestPolicyEdgeBudget pins edge enforcement: after a :policy set with a
+// query budget, the gateway itself turns away an exhausted client without
+// dialing any replica.
+func TestPolicyEdgeBudget(t *testing.T) {
+	g, gwURL, _ := twoReplicaFleet(t)
+
+	status, raw := postJSON(t, gwURL+"/v1/models/prod:policy", "", []byte(`{"query_budget":3}`))
+	if status != http.StatusOK {
+		t.Fatalf("policy set answered %d: %s", status, raw)
+	}
+	if got := g.edgeBudget("prod"); got != 3 {
+		t.Fatalf("edge budget = %d, want 3", got)
+	}
+
+	body := predictBody(t, "prod", testInputs(1, 64, 5)[0])
+	for i := 0; i < 3; i++ {
+		if status, raw := postJSON(t, gwURL+"/v1/predict", "greedy", body); status != http.StatusOK {
+			t.Fatalf("request %d answered %d: %s", i, status, raw)
+		}
+	}
+	dialed := replicaRequests(g)
+	status, raw = postJSON(t, gwURL+"/v1/predict", "greedy", body)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("over-budget request answered %d: %s", status, raw)
+	}
+	e, err := api.ParseError(raw)
+	if err != nil || e.Code != api.CodeBudgetExhausted {
+		t.Fatalf("want budget_exhausted envelope, got %s (%v)", raw, err)
+	}
+	if after := replicaRequests(g); after != dialed {
+		t.Fatalf("denied request still dialed a replica (%d → %d proxied)", dialed, after)
+	}
+
+	// A different client has its own ledger entry.
+	if status, raw := postJSON(t, gwURL+"/v1/predict", "patient", body); status != http.StatusOK {
+		t.Fatalf("fresh client answered %d: %s", status, raw)
+	}
+
+	// Re-arming the policy resets the spent ledger.
+	if status, raw := postJSON(t, gwURL+"/v1/models/prod:policy", "", []byte(`{"query_budget":3}`)); status != http.StatusOK {
+		t.Fatalf("policy re-set answered %d: %s", status, raw)
+	}
+	if status, raw := postJSON(t, gwURL+"/v1/predict", "greedy", body); status != http.StatusOK {
+		t.Fatalf("re-armed client answered %d: %s", status, raw)
+	}
+}
+
+// replicaRequests sums proxied predict attempts across the fleet.
+func replicaRequests(g *Gateway) int64 {
+	var n int64
+	for _, rep := range g.Replicas() {
+		n += rep.requests.Value()
+	}
+	return n
+}

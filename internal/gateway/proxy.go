@@ -3,12 +3,12 @@ package gateway
 import (
 	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/obs"
 )
 
@@ -41,9 +41,9 @@ func (a attemptResult) retryable() bool {
 // replica's X-Dac-Server-Timing breakdown is attributed to its attempt.
 func (g *Gateway) proxyPredict(ctx context.Context, w http.ResponseWriter, model string, body []byte, tr *obs.RequestTrace, client string) {
 	g.requests.Inc()
-	fail := func(status int, format string, args ...any) {
+	fail := func(status int, code, format string, args ...any) {
 		msg := fmt.Sprintf(format, args...)
-		writeTraceError(w, status, tr, msg)
+		writeTraceError(w, status, code, tr, msg)
 		g.finishPredict(tr, client, status, msg)
 	}
 	routeSp := tr.StartSpan("route")
@@ -51,7 +51,7 @@ func (g *Gateway) proxyPredict(ctx context.Context, w http.ResponseWriter, model
 	if len(cands) == 0 {
 		routeSp.End()
 		g.noReplica.Inc()
-		fail(http.StatusServiceUnavailable, "no ready replica (pool of %d)", len(g.Replicas()))
+		fail(http.StatusServiceUnavailable, api.CodeUnavailable, "no ready replica (pool of %d)", len(g.Replicas()))
 		return
 	}
 	first := g.pick(cands, nil)
@@ -59,7 +59,7 @@ func (g *Gateway) proxyPredict(ctx context.Context, w http.ResponseWriter, model
 	if first == nil {
 		g.sheds.Inc()
 		tr.SetShed()
-		fail(http.StatusServiceUnavailable, "shed: all %d candidate replica(s) at max in-flight", len(cands))
+		fail(http.StatusServiceUnavailable, api.CodeOverCapacity, "shed: all %d candidate replica(s) at max in-flight", len(cands))
 		return
 	}
 	res := g.tracedAttempt(ctx, first, body, tr, client, 0)
@@ -77,7 +77,7 @@ func (g *Gateway) proxyPredict(ctx context.Context, w http.ResponseWriter, model
 		}
 	}
 	if res.err != nil {
-		fail(http.StatusBadGateway, "replica unreachable: %v", res.err)
+		fail(http.StatusBadGateway, api.CodeBadGateway, "replica unreachable: %v", res.err)
 		return
 	}
 	relay(w, res, tr)
@@ -204,23 +204,14 @@ func (g *Gateway) finishPredict(tr *obs.RequestTrace, client string, status int,
 // serves).
 func (g *Gateway) Traces() *obs.TraceBuffer { return g.traces }
 
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
-// writeTraceError is httpError with the request's trace ID folded into the
-// error body and echoed in X-Dac-Trace, mirroring the serve package.
-func writeTraceError(w http.ResponseWriter, status int, tr *obs.RequestTrace, msg string) {
-	if tr == nil {
-		writeJSON(w, status, map[string]string{"error": msg})
-		return
+// writeTraceError writes the unified error envelope with the request's
+// trace ID folded in and echoed in X-Dac-Trace, mirroring the serve
+// package. An empty code falls back to the status's default.
+func writeTraceError(w http.ResponseWriter, status int, code string, tr *obs.RequestTrace, msg string) {
+	traceID := ""
+	if tr != nil {
+		traceID = tr.ID().String()
+		w.Header().Set(obs.HeaderTrace, traceID)
 	}
-	w.Header().Set(obs.HeaderTrace, tr.ID().String())
-	writeJSON(w, status, map[string]string{"error": msg, "trace_id": tr.ID().String()})
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	api.WriteError(w, status, code, traceID, "%s", msg)
 }

@@ -7,20 +7,23 @@ import (
 	"io"
 	"net/http"
 	"sort"
-	"strings"
 	"sync"
 
+	"repro/internal/api"
 	"repro/internal/obs"
 )
 
-// Server exposes a Gateway over HTTP:
+// Server exposes a Gateway over the versioned /v1 HTTP surface (schema in
+// package api):
 //
 //	POST /v1/predict       routed prediction (same body as dacserve)
 //	GET  /v1/models        fleet-aggregated model list with digest
 //	                       consistency verdicts
 //	GET  /v1/assignments   advertised {model name → release digest}
 //	POST /v1/models/{name}:reload  rolling reload: {"digest": ...}
-//	POST /v1/admin/reload  same, with the model in the body
+//	POST /v1/models/{name}:policy  get/set the model's serving policy,
+//	                       fanned out to every eligible replica
+//	POST /v1/admin/reload  reload with the model in the body
 //	                       ({"model": ..., "digest": ...})
 //	GET  /healthz          gateway liveness + pool summary
 //	GET  /readyz           503 until at least one replica is on the ring
@@ -30,22 +33,44 @@ import (
 type Server struct {
 	gw  *Gateway
 	mux *http.ServeMux
+	// routes records every registered mux pattern for Routes — the
+	// route-inventory golden pins the gateway's whole surface from it.
+	routes []string
+	// ops is the model-operation dispatch table POST /v1/models/{nameop}
+	// resolves against.
+	ops map[string]api.ModelOpHandler
 }
 
 // NewServer wraps gw.
 func NewServer(gw *Gateway) *Server {
 	s := &Server{gw: gw, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
-	s.mux.HandleFunc("GET /v1/models", s.handleModels)
-	s.mux.HandleFunc("GET /v1/assignments", s.handleAssignments)
-	s.mux.HandleFunc("POST /v1/admin/reload", s.handleReload)
-	s.mux.HandleFunc("POST /v1/models/{nameop}", s.handleModelOp)
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /readyz", s.handleReady)
-	s.mux.HandleFunc("GET /statsz", s.handleStats)
-	s.mux.HandleFunc("GET /tracez", s.handleTraces)
-	s.mux.HandleFunc("GET /metricsz", s.handleMetrics)
+	s.ops = map[string]api.ModelOpHandler{
+		"reload": s.opReload,
+		"policy": s.opPolicy,
+	}
+	s.handle("POST /v1/predict", s.handlePredict)
+	s.handle("GET /v1/models", s.handleModels)
+	s.handle("GET /v1/assignments", s.handleAssignments)
+	s.handle("POST /v1/admin/reload", s.handleReload)
+	s.handle("POST /v1/models/{nameop}", s.handleModelOp)
+	s.handle("GET /healthz", s.handleHealth)
+	s.handle("GET /readyz", s.handleReady)
+	s.handle("GET /statsz", s.handleStats)
+	s.handle("GET /tracez", s.handleTraces)
+	s.handle("GET /metricsz", s.handleMetrics)
 	return s
+}
+
+// handle registers pattern on the mux and records it for Routes.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.routes = append(s.routes, pattern)
+	s.mux.HandleFunc(pattern, h)
+}
+
+// Routes returns every registered mux pattern in registration order — the
+// gateway's whole HTTP surface, which the route-inventory golden pins.
+func (s *Server) Routes() []string {
+	return append([]string(nil), s.routes...)
 }
 
 // Handler returns the root handler.
@@ -65,39 +90,61 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	tr := obs.NewRequestTrace(id, nil)
 	tr.SetClient(client)
 	tr.SetHop(hop)
-	fail := func(status int, format string, args ...any) {
+	fail := func(status int, code, format string, args ...any) {
 		msg := fmt.Sprintf(format, args...)
-		writeTraceError(w, status, tr, msg)
+		writeTraceError(w, status, code, tr, msg)
 		s.gw.finishPredict(tr, client, status, msg)
 	}
 	sp := tr.StartSpan("decode")
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxPredictBody))
 	if err != nil {
 		sp.End()
-		fail(http.StatusBadRequest, "read request body: %v", err)
+		fail(http.StatusBadRequest, api.CodeBadRequest, "read request body: %v", err)
 		return
 	}
-	// Only the routing key is decoded here; the body is forwarded verbatim
-	// so replica answers (and errors) pass through byte-identical.
+	// Only the routing key, the API pin, and the sample count are decoded
+	// here; the body is forwarded verbatim so replica answers (and errors)
+	// pass through byte-identical. Samples stay raw — the edge budget needs
+	// their count, not their contents.
 	var req struct {
-		Model string `json:"model"`
+		API    string            `json:"api"`
+		Model  string            `json:"model"`
+		Input  json.RawMessage   `json:"input"`
+		Inputs []json.RawMessage `json:"inputs"`
 	}
 	err = json.Unmarshal(body, &req)
 	sp.End()
 	if err != nil {
-		fail(http.StatusBadRequest, "bad request body: %v", err)
+		fail(http.StatusBadRequest, api.CodeBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.API != "" && req.API != api.Version {
+		fail(http.StatusBadRequest, api.CodeUnsupportedAPI, "unsupported api version %q (this gateway speaks %q)", req.API, api.Version)
 		return
 	}
 	if req.Model == "" {
-		fail(http.StatusBadRequest, "model must be set")
+		fail(http.StatusBadRequest, api.CodeBadRequest, "model must be set")
 		return
 	}
 	tr.SetModel(req.Model)
+	// Edge budget enforcement: a client that spent its allowance is turned
+	// away here, before any replica is dialed or retried.
+	samples := len(req.Inputs)
+	if len(req.Input) > 0 && string(req.Input) != "null" {
+		samples = 1
+	}
+	if samples > 0 {
+		if budget := s.gw.edgeBudget(req.Model); !s.gw.budget.Allow(req.Model, client, samples, budget) {
+			fail(http.StatusTooManyRequests, api.CodeBudgetExhausted,
+				"client %q has exhausted its %d-sample query budget for model %q", client, budget, req.Model)
+			return
+		}
+	}
 	s.gw.proxyPredict(r.Context(), w, req.Model, body, tr, client)
 }
 
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.gw.traces.Snapshot())
+	api.WriteJSON(w, http.StatusOK, s.gw.traces.Snapshot())
 }
 
 // fleetModel is one model name's fleet-wide view: which digest each
@@ -189,7 +236,7 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 		out = append(out, fm)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	writeJSON(w, http.StatusOK, map[string]any{
+	api.WriteJSON(w, http.StatusOK, map[string]any{
 		"models":     out,
 		"replicas":   probed,
 		"consistent": allConsistent,
@@ -222,7 +269,7 @@ func (g *Gateway) getReplicaModels(ctx context.Context, rep *Replica, out any) e
 }
 
 func (s *Server) handleAssignments(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"assignments": s.gw.Assignments()})
+	api.WriteJSON(w, http.StatusOK, map[string]any{"assignments": s.gw.Assignments()})
 }
 
 type reloadRequest struct {
@@ -230,41 +277,82 @@ type reloadRequest struct {
 	Digest string `json:"digest"`
 }
 
-// handleModelOp routes POST /v1/models/{name}:{op} — the same path
-// convention dacserve uses for :audit and :load, so fleet and replica
-// admin verbs read alike. The only gateway op is :reload.
+// handleModelOp routes POST /v1/models/{name}:{op} through the op
+// dispatch table — the same path convention and parser dacserve uses, so
+// fleet and replica admin verbs read alike.
 func (s *Server) handleModelOp(w http.ResponseWriter, r *http.Request) {
-	nameop := r.PathValue("nameop")
-	name, op, ok := cutLast(nameop, ":")
-	if !ok || name == "" {
-		httpError(w, http.StatusNotFound, "want /v1/models/{name}:reload, got %q", nameop)
-		return
-	}
-	if op != "reload" {
-		httpError(w, http.StatusNotFound, "unknown model op %q (want reload)", op)
-		return
-	}
+	api.DispatchModelOp(w, r, r.PathValue("nameop"), s.ops)
+}
+
+func (s *Server) opReload(w http.ResponseWriter, r *http.Request, name string) {
 	var req reloadRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "", "bad request body: %v", err)
 		return
 	}
 	req.Model = name
 	s.rollingReload(w, r, req)
 }
 
-// cutLast splits s around the final occurrence of sep.
-func cutLast(s, sep string) (before, after string, found bool) {
-	if i := strings.LastIndex(s, sep); i >= 0 {
-		return s[:i], s[i+len(sep):], true
+// opPolicy fans a serving-policy get (empty body) or set (Policy JSON
+// body) out to every eligible replica, so one gateway call flips a defense
+// fleet-wide. On a successful set the gateway also learns the model's
+// query budget and enforces it at the edge from then on.
+func (s *Server) opPolicy(w http.ResponseWriter, r *http.Request, name string) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "", "read request body: %v", err)
+		return
 	}
-	return s, "", false
+	set := len(body) > 0
+	var budget struct {
+		QueryBudget int `json:"query_budget"`
+	}
+	if set {
+		if err := json.Unmarshal(body, &budget); err != nil {
+			api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "", "bad request body: %v", err)
+			return
+		}
+	}
+	results := s.gw.fanoutPolicy(r.Context(), name, body)
+	if len(results) == 0 {
+		api.WriteError(w, http.StatusServiceUnavailable, api.CodeUnavailable,
+			"", "no eligible replica to apply policy for %q", name)
+		return
+	}
+	for _, res := range results {
+		if res.Status == http.StatusOK {
+			continue
+		}
+		if res.Error != "" {
+			api.WriteError(w, http.StatusBadGateway, api.CodeBadGateway,
+				"", "policy on replica %s: %s", res.Replica, res.Error)
+			return
+		}
+		// Relay the replica's own envelope verdict (e.g. a validation
+		// rejection) with its status, so the caller sees the real reason.
+		if e, perr := api.ParseError(res.Response); perr == nil {
+			api.WriteError(w, res.Status, e.Code, "", "policy on replica %s: %s", res.Replica, e.Message)
+			return
+		}
+		api.WriteError(w, http.StatusBadGateway, api.CodeBadGateway,
+			"", "policy on replica %s answered %d", res.Replica, res.Status)
+		return
+	}
+	if set {
+		s.gw.setEdgeBudget(name, budget.QueryBudget)
+	}
+	api.WriteJSON(w, http.StatusOK, map[string]any{
+		"model":    name,
+		"replicas": len(results),
+		"results":  results,
+	})
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	var req reloadRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "", "bad request body: %v", err)
 		return
 	}
 	s.rollingReload(w, r, req)
@@ -272,14 +360,14 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) rollingReload(w http.ResponseWriter, r *http.Request, req reloadRequest) {
 	if req.Model == "" || req.Digest == "" {
-		httpError(w, http.StatusBadRequest, "model and digest must be set")
+		api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "", "model and digest must be set")
 		return
 	}
 	if err := s.gw.RollingReload(r.Context(), req.Model, req.Digest); err != nil {
-		httpError(w, http.StatusBadGateway, "%v", err)
+		api.WriteError(w, http.StatusBadGateway, api.CodeBadGateway, "", "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	api.WriteJSON(w, http.StatusOK, map[string]any{
 		"model": req.Model, "digest": req.Digest, "status": "reloaded",
 	})
 }
@@ -292,7 +380,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			eligible++
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	api.WriteJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
 		"replicas": len(reps),
 		"eligible": eligible,
@@ -301,10 +389,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	if len(s.gw.currentRing().members) == 0 {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "no ready replica"})
+		api.WriteJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "no ready replica"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+	api.WriteJSON(w, http.StatusOK, map[string]any{"status": "ready"})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -313,7 +401,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for _, rep := range reps {
 		perReplica[rep.ID] = rep.snapshot()
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	api.WriteJSON(w, http.StatusOK, map[string]any{
 		"requests":        s.gw.requests.Value(),
 		"retries":         s.gw.retries.Value(),
 		"sheds":           s.gw.sheds.Value(),

@@ -6,20 +6,17 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/compute"
 	"repro/internal/nn"
 )
 
-// Prediction is the serving result for one input sample.
-type Prediction struct {
-	// Class is the argmax class.
-	Class int `json:"class"`
-	// Probs is the softmax distribution over classes.
-	Probs []float64 `json:"probs"`
-	// Logits are the raw pre-softmax scores; bit-identical to a serial
-	// single-sample forward pass of the same input.
-	Logits []float64 `json:"logits"`
-}
+// Prediction is the serving result for one input sample — the wire shape
+// lives in the api package so the gateway and attack tooling share it.
+// Engines always fill Probs and Logits (bit-identical to a serial
+// single-sample forward pass); serving policies may strip them before the
+// response leaves the HTTP layer.
+type Prediction = api.Prediction
 
 // Timing is the engine-side breakdown for one answered request, the
 // substrate of request tracing: how long the request waited in the queue

@@ -6,10 +6,18 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/api"
 	"repro/internal/modelio"
 	"repro/internal/nn"
 	"repro/internal/quantize"
 	"repro/internal/tensor"
+)
+
+// The serve tests predate the shared api package; these aliases keep them
+// reading naturally while exercising the real wire types.
+type (
+	predictRequest  = api.PredictRequest
+	predictResponse = api.PredictResponse
 )
 
 func testArch() nn.ResNetConfig {

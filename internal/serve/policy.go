@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/api"
+)
+
+// Policy modes. Full answers carry probs and logits; the restricted modes
+// are the anti-extraction defenses: top1 keeps the argmax class plus its
+// (rounded) probability, label keeps the class alone.
+const (
+	PolicyFull  = "full"
+	PolicyTop1  = "top1"
+	PolicyLabel = "label"
+)
+
+// Policy is one model's serving defense configuration, toggleable at
+// runtime through POST /v1/models/{name}:policy without reloading the
+// model. The zero Policy is "undefended": full responses, no rounding, no
+// budget. Policies are keyed by model name in the registry, so they
+// survive hot swaps of the weights underneath.
+//
+// Every transform is deterministic — a defended response is bit-identical
+// across replicas serving the same digest, which the fleet's
+// bit-reproducibility contract requires and
+// TestDefendedResponsesDeterministicAcrossReplicas pins.
+type Policy struct {
+	// Mode selects the response verbosity: "" or PolicyFull, PolicyTop1,
+	// or PolicyLabel.
+	Mode string `json:"mode,omitempty"`
+	// Round, when positive, rounds every returned probability, logit, and
+	// top_prob to this many decimal places — coarse scores starve a
+	// distillation attacker of the soft-label signal while leaving the
+	// argmax class (what honest clients act on) untouched.
+	Round int `json:"round,omitempty"`
+	// QueryBudget, when positive, caps the total prediction samples each
+	// client identity may spend on this model; requests past the cap
+	// answer 429 budget_exhausted. Changing the policy re-arms every
+	// client's budget from zero.
+	QueryBudget int `json:"query_budget,omitempty"`
+}
+
+// maxRound bounds Round: float64 carries ~15-17 significant decimal
+// digits, so rounding past 12 places is a no-op dressed as a defense.
+const maxRound = 12
+
+// Validate rejects unknown modes and out-of-range knobs.
+func (p Policy) Validate() error {
+	switch p.Mode {
+	case "", PolicyFull, PolicyTop1, PolicyLabel:
+	default:
+		return fmt.Errorf("serve: unknown policy mode %q (want %q, %q, or %q)", p.Mode, PolicyFull, PolicyTop1, PolicyLabel)
+	}
+	if p.Round < 0 || p.Round > maxRound {
+		return fmt.Errorf("serve: policy round %d out of range [0, %d]", p.Round, maxRound)
+	}
+	if p.QueryBudget < 0 {
+		return fmt.Errorf("serve: negative query budget %d", p.QueryBudget)
+	}
+	return nil
+}
+
+// Active reports whether the policy restricts anything (the zero value
+// does not).
+func (p Policy) Active() bool {
+	return (p.Mode != "" && p.Mode != PolicyFull) || p.Round > 0 || p.QueryBudget > 0
+}
+
+// Apply transforms full engine predictions in place per the policy and
+// returns the response mode tag ("" for full responses, PolicyTop1 or
+// PolicyLabel when restricted).
+func (p Policy) Apply(preds []api.Prediction) string {
+	mode := p.Mode
+	if mode == "" {
+		mode = PolicyFull
+	}
+	for i := range preds {
+		switch mode {
+		case PolicyLabel:
+			preds[i].Probs, preds[i].Logits = nil, nil
+		case PolicyTop1:
+			top := 0.0
+			for _, v := range preds[i].Probs {
+				if v > top {
+					top = v
+				}
+			}
+			preds[i].TopProb = roundTo(top, p.Round)
+			preds[i].Probs, preds[i].Logits = nil, nil
+		default:
+			if p.Round > 0 {
+				roundSlice(preds[i].Probs, p.Round)
+				roundSlice(preds[i].Logits, p.Round)
+			}
+		}
+	}
+	if mode == PolicyFull {
+		return ""
+	}
+	return mode
+}
+
+// roundTo rounds v to k decimal places; k <= 0 is the identity. The
+// scale-round-unscale sequence is the same float64 ops everywhere, so
+// rounded responses stay bit-identical across replicas.
+func roundTo(v float64, k int) float64 {
+	if k <= 0 {
+		return v
+	}
+	scale := math.Pow(10, float64(k))
+	return math.Round(v*scale) / scale
+}
+
+func roundSlice(v []float64, k int) {
+	for i := range v {
+		v[i] = roundTo(v[i], k)
+	}
+}
+
+// omitScores strips every score field, leaving classes only — the
+// transform behind both the label-only policy's shape and the request's
+// omit_scores opt-in.
+func omitScores(preds []api.Prediction) {
+	for i := range preds {
+		preds[i].Probs, preds[i].Logits, preds[i].TopProb = nil, nil, 0
+	}
+}

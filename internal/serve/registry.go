@@ -137,6 +137,9 @@ type Registry struct {
 	mu     sync.RWMutex
 	models map[string]*Entry
 	closed bool
+	// policies holds per-model serving defenses, keyed by model name (not
+	// entry) so a policy survives hot swaps of the weights underneath.
+	policies map[string]Policy
 	// skipped accumulates the directory entries LoadDir examined but did
 	// not serve, so /statsz can report the count and startup can log each.
 	skipped []Skipped
@@ -144,7 +147,7 @@ type Registry struct {
 
 // NewRegistry builds an empty registry whose engines use opts.
 func NewRegistry(opts Options) *Registry {
-	return &Registry{opts: opts.withDefaults(), models: map[string]*Entry{}}
+	return &Registry{opts: opts.withDefaults(), models: map[string]*Entry{}, policies: map[string]Policy{}}
 }
 
 // Options returns the registry's resolved engine options.
@@ -317,6 +320,31 @@ func (r *Registry) loadFileWithMode(name, path string, mode LoadMode) (*Entry, e
 	}
 	defer f.Close()
 	return r.LoadWithMode(name, f, mode)
+}
+
+// SetPolicy installs the serving policy for name after validating it. The
+// model need not be loaded yet — policies are name-keyed configuration, so
+// a defense can be staged before the first load and survives hot swaps.
+func (r *Registry) SetPolicy(name string, p Policy) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p == (Policy{}) {
+		delete(r.policies, name)
+		return nil
+	}
+	r.policies[name] = p
+	return nil
+}
+
+// PolicyFor returns name's serving policy (the zero, undefended Policy
+// when none is set).
+func (r *Registry) PolicyFor(name string) Policy {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.policies[name]
 }
 
 // Get returns the entry serving under name.

@@ -78,6 +78,15 @@ type Options struct {
 	// overflow series (clients would otherwise mint unbounded series by
 	// varying X-Dac-Client). <= 0 selects 64.
 	MaxClients int
+	// DetectMinQueries is the extraction detector's volume floor: a
+	// client is never flagged before it has spent this many prediction
+	// samples. <= 0 selects 256.
+	DetectMinQueries int
+	// DetectNovelty is the detector's input-novelty threshold: the
+	// distinct-input fraction at or above which a high-volume client is
+	// flagged as extraction-like. 0 selects 0.9; honest repeat traffic
+	// sits far below it.
+	DetectNovelty float64
 }
 
 func (o Options) withDefaults() Options {
@@ -98,6 +107,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxClients <= 0 {
 		o.MaxClients = 64
+	}
+	if o.DetectMinQueries <= 0 {
+		o.DetectMinQueries = 256
+	}
+	if o.DetectNovelty == 0 {
+		o.DetectNovelty = 0.9
 	}
 	return o
 }

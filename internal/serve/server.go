@@ -7,28 +7,32 @@ import (
 	"io"
 	"io/fs"
 	"net/http"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/attack"
 	"repro/internal/obs"
 )
 
-// Server exposes a Registry over an HTTP JSON API:
+// Server exposes a Registry over the versioned /v1 HTTP JSON API (schema
+// in package api):
 //
-//	POST /v1/predict              single or batch prediction
-//	GET  /v1/models               registered models and their metadata
-//	POST /v1/models/{name}:audit  defender-side distributional audit
-//	POST /v1/models/{name}:load   pull a release from the artifact store
-//	                              by digest and (hot-)register it
-//	GET  /healthz                 liveness
-//	GET  /readyz                  readiness (503 while starting/draining)
-//	GET  /statsz                  serving counters (JSON)
-//	GET  /tracez                  recent/slowest/error request traces (JSON)
-//	GET  /metricsz                full obs registry (Prometheus text;
-//	                              ?format=json for the JSON snapshot)
+//	POST /v1/predict               single or batch prediction
+//	GET  /v1/models                registered models and their metadata
+//	POST /v1/models/{name}:audit   defender-side distributional audit
+//	POST /v1/models/{name}:load    pull a release from the artifact store
+//	                               by digest and (hot-)register it
+//	POST /v1/models/{name}:policy  get (empty body) or set the model's
+//	                               serving defense policy
+//	GET  /healthz                  liveness
+//	GET  /readyz                   readiness (503 while starting/draining)
+//	GET  /statsz                   serving counters (JSON)
+//	GET  /tracez                   recent/slowest/error request traces (JSON)
+//	GET  /detectz                  extraction-pattern detector report (JSON)
+//	GET  /metricsz                 full obs registry (Prometheus text;
+//	                               ?format=json for the JSON snapshot)
 type Server struct {
 	reg *Registry
 	// auditBounds are the default conv-index group bounds the audit
@@ -36,6 +40,19 @@ type Server struct {
 	// the shared preset); requests may override them.
 	auditBounds []int
 	mux         *http.ServeMux
+	// routes records every registered mux pattern, in registration order —
+	// ServeMux does not expose its patterns, and the route-inventory golden
+	// needs the full surface.
+	routes []string
+	// ops is the model-operation dispatch table POST /v1/models/{nameop}
+	// resolves against.
+	ops map[string]api.ModelOpHandler
+	// detector watches per-client query volume and input novelty for
+	// extraction-like traffic (GET /detectz).
+	detector *Detector
+	// budget enforces per-model, per-client query budgets from the
+	// registry's policies.
+	budget *api.BudgetLedger
 	// httpRequests counts every HTTP request; a fresh instance per server,
 	// registered as serve_http_requests_total on the registry's obs
 	// registry (replace semantics, like engine series).
@@ -79,6 +96,8 @@ func NewServer(reg *Registry, auditBounds []int) *Server {
 	opts := reg.Options()
 	s := &Server{
 		reg: reg, auditBounds: auditBounds, mux: http.NewServeMux(),
+		detector:     newDetector(opts),
+		budget:       api.NewBudgetLedger(),
 		httpRequests: obs.NewCounter(),
 		now:          time.Now,
 		traces:       obs.NewTraceBuffer(0, 0, 0),
@@ -88,16 +107,38 @@ func NewServer(reg *Registry, auditBounds []int) *Server {
 	}
 	s.tracing.Store(true)
 	opts.Obs.RegisterCounter("serve_http_requests_total", s.httpRequests)
-	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
-	s.mux.HandleFunc("GET /v1/models", s.handleModels)
-	s.mux.HandleFunc("POST /v1/models/{nameop}", s.handleModelOp)
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /readyz", s.handleReady)
-	s.mux.HandleFunc("GET /statsz", s.handleStats)
-	s.mux.HandleFunc("GET /tracez", s.handleTraces)
-	s.mux.HandleFunc("GET /metricsz", s.handleMetrics)
+	s.ops = map[string]api.ModelOpHandler{
+		"audit":  s.opAudit,
+		"load":   s.opLoad,
+		"policy": s.opPolicy,
+	}
+	s.handle("POST /v1/predict", s.handlePredict)
+	s.handle("GET /v1/models", s.handleModels)
+	s.handle("POST /v1/models/{nameop}", s.handleModelOp)
+	s.handle("GET /healthz", s.handleHealth)
+	s.handle("GET /readyz", s.handleReady)
+	s.handle("GET /statsz", s.handleStats)
+	s.handle("GET /tracez", s.handleTraces)
+	s.handle("GET /detectz", s.handleDetect)
+	s.handle("GET /metricsz", s.handleMetrics)
 	return s
 }
+
+// handle registers pattern on the mux and records it for Routes.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.routes = append(s.routes, pattern)
+	s.mux.HandleFunc(pattern, h)
+}
+
+// Routes returns every registered mux pattern in registration order — the
+// server's whole HTTP surface, which the route-inventory golden pins.
+func (s *Server) Routes() []string {
+	return append([]string(nil), s.routes...)
+}
+
+// Detector returns the server's extraction-pattern detector (what
+// /detectz reports from).
+func (s *Server) Detector() *Detector { return s.detector }
 
 // EnableTracing toggles per-request trace construction (on by default).
 // With tracing off, predictions still flow and per-client accounting still
@@ -135,21 +176,6 @@ func (s *Server) Handler() http.Handler {
 	})
 }
 
-type predictRequest struct {
-	// Model names the registry entry to serve from.
-	Model string `json:"model"`
-	// Input is a single flattened C*H*W sample; Inputs is a batch. Exactly
-	// one must be set.
-	Input  []float64   `json:"input,omitempty"`
-	Inputs [][]float64 `json:"inputs,omitempty"`
-}
-
-type predictResponse struct {
-	Model       string       `json:"model"`
-	Digest      string       `json:"digest"`
-	Predictions []Prediction `json:"predictions"`
-}
-
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	client := obs.ClientFrom(r.Header.Get(obs.HeaderClient), r.RemoteAddr)
 	var tr *obs.RequestTrace
@@ -161,27 +187,36 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		tr.SetClient(client)
 		tr.SetHop(hop)
 	}
-	fail := func(status int, format string, args ...any) {
+	fail := func(status int, code, format string, args ...any) {
 		msg := fmt.Sprintf(format, args...)
-		writeTraceError(w, status, tr, msg)
+		traceID := ""
+		if tr != nil {
+			traceID = tr.ID().String()
+			w.Header().Set(obs.HeaderTrace, traceID)
+		}
+		api.WriteError(w, status, code, traceID, "%s", msg)
 		s.finishPredict(tr, client, status, msg)
 	}
 	sp := tr.StartSpan("decode")
-	var req predictRequest
+	var req api.PredictRequest
 	err := json.NewDecoder(r.Body).Decode(&req)
 	sp.End()
 	if err != nil {
-		fail(http.StatusBadRequest, "bad request body: %v", err)
+		fail(http.StatusBadRequest, api.CodeBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.API != "" && req.API != api.Version {
+		fail(http.StatusBadRequest, api.CodeUnsupportedAPI, "unsupported api version %q (this server speaks %q)", req.API, api.Version)
 		return
 	}
 	tr.SetModel(req.Model)
 	if (req.Input == nil) == (req.Inputs == nil) {
-		fail(http.StatusBadRequest, "exactly one of input/inputs must be set")
+		fail(http.StatusBadRequest, api.CodeBadRequest, "exactly one of input/inputs must be set")
 		return
 	}
 	en, ok := s.reg.Get(req.Model)
 	if !ok {
-		fail(http.StatusNotFound, "unknown model %q", req.Model)
+		fail(http.StatusNotFound, api.CodeNotFound, "unknown model %q", req.Model)
 		return
 	}
 	tr.SetDigest(en.Digest)
@@ -190,7 +225,16 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		inputs = [][]float64{req.Input}
 	}
 	if len(inputs) == 0 {
-		fail(http.StatusBadRequest, "empty batch")
+		fail(http.StatusBadRequest, api.CodeBadRequest, "empty batch")
+		return
+	}
+	// The detector sees every attempt — including ones the budget denies
+	// below, since denied probes are still extraction pressure.
+	s.detector.Observe(client, inputs)
+	pol := s.reg.PolicyFor(req.Model)
+	if !s.budget.Allow(req.Model, client, len(inputs), pol.QueryBudget) {
+		fail(http.StatusTooManyRequests, api.CodeBudgetExhausted,
+			"client %q has exhausted its %d-sample query budget for model %q", client, pol.QueryBudget, req.Model)
 		return
 	}
 	// Submit every sample independently so the engine is free to coalesce
@@ -228,11 +272,11 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			switch {
 			case errors.Is(err, ErrQueueFull):
-				fail(http.StatusTooManyRequests, "%v", err)
+				fail(http.StatusTooManyRequests, api.CodeOverCapacity, "%v", err)
 			case errors.Is(err, ErrClosed):
-				fail(http.StatusServiceUnavailable, "%v", err)
+				fail(http.StatusServiceUnavailable, api.CodeUnavailable, "%v", err)
 			default:
-				fail(http.StatusBadRequest, "%v", err)
+				fail(http.StatusBadRequest, api.CodeBadRequest, "%v", err)
 			}
 			return
 		}
@@ -251,8 +295,14 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			{Name: "total", Value: subEnd.Sub(subStart).Microseconds()},
 		}))
 	}
-	writeJSON(w, http.StatusOK, predictResponse{
-		Model: en.Name, Digest: en.Digest, Predictions: preds,
+	// The policy restricts the response after the full forward pass ran —
+	// defenses change what leaves the server, never the computation.
+	mode := pol.Apply(preds)
+	if req.OmitScores {
+		omitScores(preds)
+	}
+	api.WriteJSON(w, http.StatusOK, api.PredictResponse{
+		API: api.Version, Model: en.Name, Digest: en.Digest, Mode: mode, Predictions: preds,
 	})
 	s.finishPredict(tr, client, http.StatusOK, "")
 }
@@ -275,7 +325,11 @@ func (s *Server) finishPredict(tr *obs.RequestTrace, client string, status int, 
 }
 
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.traces.Snapshot())
+	api.WriteJSON(w, http.StatusOK, s.traces.Snapshot())
+}
+
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	api.WriteJSON(w, http.StatusOK, s.detector.Report())
 }
 
 type modelInfo struct {
@@ -314,7 +368,7 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	for i, en := range entries {
 		infos[i] = entryInfo(en)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"models": infos})
+	api.WriteJSON(w, http.StatusOK, map[string]any{"models": infos})
 }
 
 type auditRequest struct {
@@ -340,26 +394,22 @@ type auditGroup struct {
 	Score float64 `json:"score"`
 }
 
+// handleModelOp routes POST /v1/models/{name}:{op} through the op
+// dispatch table.
 func (s *Server) handleModelOp(w http.ResponseWriter, r *http.Request) {
-	nameop := r.PathValue("nameop")
-	name, op, ok := strings.Cut(nameop, ":")
-	if !ok || (op != "audit" && op != "load") {
-		httpError(w, http.StatusNotFound, "unknown model operation %q (want {name}:audit or {name}:load)", nameop)
-		return
-	}
-	if op == "load" {
-		s.handleLoad(w, r, name)
-		return
-	}
+	api.DispatchModelOp(w, r, r.PathValue("nameop"), s.ops)
+}
+
+func (s *Server) opAudit(w http.ResponseWriter, r *http.Request, name string) {
 	en, found := s.reg.Get(name)
 	if !found {
-		httpError(w, http.StatusNotFound, "unknown model %q", name)
+		api.WriteError(w, http.StatusNotFound, api.CodeNotFound, "", "unknown model %q", name)
 		return
 	}
 	var req auditRequest
 	if r.ContentLength != 0 {
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+			api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "", "bad request body: %v", err)
 			return
 		}
 	}
@@ -373,7 +423,7 @@ func (s *Server) handleModelOp(w http.ResponseWriter, r *http.Request) {
 	// copy from the retained release record.
 	am, err := en.AuditModel()
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "%v", err)
+		api.WriteError(w, http.StatusInternalServerError, api.CodeInternal, "", "%v", err)
 		return
 	}
 	rep := attack.AuditModel(am, bounds, req.Threshold)
@@ -392,7 +442,7 @@ func (s *Server) handleModelOp(w http.ResponseWriter, r *http.Request) {
 	for _, g := range rep.PerGroup {
 		resp.PerGroup = append(resp.PerGroup, auditGroup{Name: g.Name, Score: g.Score})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	api.WriteJSON(w, http.StatusOK, resp)
 }
 
 type loadRequest struct {
@@ -401,38 +451,68 @@ type loadRequest struct {
 	Digest string `json:"digest"`
 }
 
-// handleLoad is the replica side of digest-based model distribution: it
-// pulls the release named by digest from the attached artifact store and
+// opLoad is the replica side of digest-based model distribution: it pulls
+// the release named by digest from the attached artifact store and
 // hot-registers it under name, so a gateway can roll a fleet onto new
 // weights without any replica ever seeing a file path. The serving mode
 // follows ModeAuto (Options.NativeQuant decides, like startup loads).
-func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request, name string) {
+func (s *Server) opLoad(w http.ResponseWriter, r *http.Request, name string) {
 	var req loadRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "", "bad request body: %v", err)
 		return
 	}
 	if req.Digest == "" {
-		httpError(w, http.StatusBadRequest, "digest must be set")
+		api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "", "digest must be set")
 		return
 	}
 	en, err := s.reg.LoadDigest(name, req.Digest, ModeAuto)
 	switch {
 	case err == nil:
-		writeJSON(w, http.StatusOK, entryInfo(en))
+		api.WriteJSON(w, http.StatusOK, entryInfo(en))
 	case errors.Is(err, ErrNoStore):
-		httpError(w, http.StatusNotImplemented, "%v", err)
+		api.WriteError(w, http.StatusNotImplemented, api.CodeNotImplemented, "", "%v", err)
 	case errors.Is(err, fs.ErrNotExist):
-		httpError(w, http.StatusNotFound, "%v", err)
+		api.WriteError(w, http.StatusNotFound, api.CodeNotFound, "", "%v", err)
 	case errors.Is(err, ErrClosed):
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		api.WriteError(w, http.StatusServiceUnavailable, api.CodeUnavailable, "", "%v", err)
 	default:
-		httpError(w, http.StatusBadRequest, "%v", err)
+		api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "", "%v", err)
 	}
 }
 
+// policyResponse answers both the get and set forms of {name}:policy.
+type policyResponse struct {
+	Model  string `json:"model"`
+	Policy Policy `json:"policy"`
+	Active bool   `json:"active"`
+}
+
+// opPolicy gets (empty body) or sets (Policy JSON body) the model's
+// serving defense policy. Setting validates first, swaps the policy in
+// without touching the loaded model or its engine, and re-arms every
+// client's query budget for the model from zero.
+func (s *Server) opPolicy(w http.ResponseWriter, r *http.Request, name string) {
+	if r.ContentLength == 0 {
+		pol := s.reg.PolicyFor(name)
+		api.WriteJSON(w, http.StatusOK, policyResponse{Model: name, Policy: pol, Active: pol.Active()})
+		return
+	}
+	var p Policy
+	if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
+		api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "", "bad request body: %v", err)
+		return
+	}
+	if err := s.reg.SetPolicy(name, p); err != nil {
+		api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "", "%v", err)
+		return
+	}
+	s.budget.Reset(name)
+	api.WriteJSON(w, http.StatusOK, policyResponse{Model: name, Policy: p, Active: p.Active()})
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	api.WriteJSON(w, http.StatusOK, map[string]any{
 		"status": "ok",
 		"models": len(s.reg.List()),
 	})
@@ -441,16 +521,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	switch s.readiness.Load() {
 	case readyServing:
-		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+		api.WriteJSON(w, http.StatusOK, map[string]any{"status": "ready"})
 	case readyDraining:
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		api.WriteJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 	default:
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "starting"})
+		api.WriteJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "starting"})
 	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	api.WriteJSON(w, http.StatusOK, map[string]any{
 		"http_requests": s.httpRequests.Value(),
 		"models":        s.reg.Stats(),
 		"skipped":       s.reg.SkippedCount(),
@@ -466,26 +546,4 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	reg.WritePrometheus(w)
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
-}
-
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
-// writeTraceError is httpError with the request's trace ID folded into the
-// error body and echoed in the X-Dac-Trace response header, so a failed
-// call is correlatable against /tracez after the fact.
-func writeTraceError(w http.ResponseWriter, status int, tr *obs.RequestTrace, msg string) {
-	if tr == nil {
-		writeJSON(w, status, map[string]string{"error": msg})
-		return
-	}
-	w.Header().Set(obs.HeaderTrace, tr.ID().String())
-	writeJSON(w, status, map[string]string{"error": msg, "trace_id": tr.ID().String()})
 }
