@@ -23,9 +23,12 @@ import (
 	"os"
 	"path/filepath"
 
+	"io"
+
 	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/dist"
 	"repro/internal/modelio"
 	"repro/internal/obs"
 	"repro/internal/quantize"
@@ -46,7 +49,20 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a phase-span timing report to this file at exit (\"-\" for stderr)")
 	cacheDir := flag.String("cache-dir", "", "persistent artifact store; stages with cached results are skipped across invocations")
 	resume := flag.Bool("resume", false, "with -cache-dir: continue an interrupted training run from its latest epoch checkpoint")
+	var dcli dist.CLI
+	dcli.Register(flag.CommandLine)
 	flag.Parse()
+
+	sess, fleet, err := dcli.Resolve(os.Args[1:])
+	if err != nil {
+		fatal(err)
+	}
+	worker := sess != nil && sess.Worker()
+	if worker {
+		// Workers feed gradient shards into the coordinator's training run
+		// and never write release outputs or reports.
+		*traceOut = ""
+	}
 
 	var tracer *obs.Tracer
 	if *traceOut != "" {
@@ -69,6 +85,10 @@ func main() {
 	preset := core.CIFARRelease()
 	data := dataset.SyntheticCIFAR(preset.DataConfig(*n, *seed))
 	arch := preset.ArchConfig(1)
+	logw := io.Writer(os.Stderr)
+	if worker {
+		logw = nil
+	}
 	res := core.Run(core.Config{
 		Data: data, ModelCfg: arch,
 		GroupBounds: preset.GroupBounds,
@@ -77,10 +97,16 @@ func main() {
 		Epochs:      *epochs, BatchSize: 32, LR: 0.05, Momentum: 0.9, ClipNorm: 5,
 		Quant: core.QuantTargetCorrelated, Bits: *bits,
 		FineTuneEpochs: 3, KeepRegDuringFineTune: true,
-		Seed: *seed, Log: os.Stderr,
+		Seed: *seed, Log: logw,
 		Threads: *threads, Trace: tracer,
 		Cache: store, Resume: *resume,
+		Dist: sess, Shards: dcli.Shards,
 	})
+	if worker {
+		// The coordinator owns the release; this rank's contribution ended
+		// with the jointly trained model.
+		return
+	}
 
 	rm, err := modelio.Export(res.Model, arch, res.Applied)
 	if err != nil {
@@ -128,6 +154,10 @@ func main() {
 			}
 		}
 		fmt.Printf("wrote %d ground-truth targets to %s\n", res.Plan.TotalImages(), *truthDir)
+	}
+
+	if err := fleet.Wait(); err != nil {
+		fatal(err)
 	}
 }
 

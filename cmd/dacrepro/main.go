@@ -11,9 +11,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/artifact"
+	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 )
@@ -27,6 +29,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a phase-span timing report to this file at exit (\"-\" for stderr)")
 	cacheDir := flag.String("cache-dir", "", "persistent artifact store; stages with cached results are skipped across invocations")
 	resume := flag.Bool("resume", false, "with -cache-dir: continue interrupted training runs from their latest epoch checkpoint")
+	var dcli dist.CLI
+	dcli.Register(flag.CommandLine)
 	flag.Parse()
 
 	args := flag.Args()
@@ -36,8 +40,27 @@ func main() {
 		os.Exit(2)
 	}
 
-	env := experiments.NewEnv(*seed, *quick, os.Stdout)
+	sess, fleet, err := dcli.Resolve(os.Args[1:])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dacrepro: %v\n", err)
+		os.Exit(2)
+	}
+	worker := sess != nil && sess.Worker()
+	if worker {
+		// Workers contribute gradient shards to the coordinator's training
+		// runs; the coordinator alone owns the run's outputs (tables,
+		// figures, traces, progress lines).
+		*verbose, *traceOut, *outDir = false, "", ""
+	}
+
+	tableOut := io.Writer(os.Stdout)
+	if worker {
+		tableOut = io.Discard
+	}
+	env := experiments.NewEnv(*seed, *quick, tableOut)
 	env.Threads = *threads
+	env.Dist = sess
+	env.Shards = dcli.Shards
 	if *cacheDir != "" {
 		store, err := artifact.Open(*cacheDir)
 		if err != nil {
@@ -46,11 +69,13 @@ func main() {
 		}
 		env.Cache = store
 		env.Resume = *resume
-		defer func() {
-			st := store.Stats()
-			fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d bytes read, %d bytes written\n",
-				st.Hits, st.Misses, st.ReadBytes, st.WriteBytes)
-		}()
+		if !worker {
+			defer func() {
+				st := store.Stats()
+				fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d bytes read, %d bytes written\n",
+					st.Hits, st.Misses, st.ReadBytes, st.WriteBytes)
+			}()
+		}
 	} else if *resume {
 		fmt.Fprintln(os.Stderr, "dacrepro: -resume requires -cache-dir")
 		os.Exit(2)
@@ -100,6 +125,11 @@ func main() {
 		}
 		fmt.Printf("### %s\n\n", name)
 		f()
+	}
+
+	if err := fleet.Wait(); err != nil {
+		fmt.Fprintf(os.Stderr, "dacrepro: %v\n", err)
+		os.Exit(1)
 	}
 }
 

@@ -1,0 +1,66 @@
+package compute
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPartialSetFoldIsOrderedLeftFold(t *testing.T) {
+	const n, size = 7, 33
+	s := NewPartialSet(n, size)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < n; i++ {
+		p := s.Partial(i)
+		for j := range p {
+			p[j] = rng.NormFloat64() * 1e3
+		}
+	}
+	// Reference: explicit serial left fold in index order.
+	want := make([]float64, size)
+	for i := 0; i < n; i++ {
+		for j, v := range s.Partial(i) {
+			want[j] += v
+		}
+	}
+	got := make([]float64, size)
+	s.Fold(got)
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("Fold[%d] = %x, want %x", j, got[j], want[j])
+		}
+	}
+	// Fold accumulates (dst is not cleared): a second fold continues the
+	// same left fold on top of the existing values.
+	want2 := append([]float64(nil), want...)
+	for i := 0; i < n; i++ {
+		for j, v := range s.Partial(i) {
+			want2[j] += v
+		}
+	}
+	s.Fold(got)
+	for j := range want2 {
+		if got[j] != want2[j] {
+			t.Fatalf("second Fold[%d] = %x, want %x", j, got[j], want2[j])
+		}
+	}
+}
+
+func TestPartialSetZeroAndBounds(t *testing.T) {
+	s := NewPartialSet(2, 4)
+	s.Partial(0)[1] = 3
+	s.Partial(1)[2] = 5
+	s.Zero()
+	for i := 0; i < s.N(); i++ {
+		for j, v := range s.Partial(i) {
+			if v != 0 {
+				t.Fatalf("after Zero, partial %d[%d] = %v", i, j, v)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Fold with wrong destination length did not panic")
+		}
+	}()
+	s.Fold(make([]float64, 3))
+}

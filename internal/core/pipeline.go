@@ -97,9 +97,13 @@ func stages() []*stage {
 }
 
 // exec runs one stage: key derivation, cache probe, compute, persist.
+// Keys are derived when a store is attached — and also for distributed
+// runs without one, because the train stage's key doubles as the run's
+// mailbox token (every rank derives it identically from the shared
+// configuration).
 func (p *pipeline) exec(st *stage) {
 	var key string
-	if p.store != nil {
+	if p.store != nil || p.cfg.Dist != nil {
 		k := artifact.NewKey(st.name + "/v1")
 		for _, d := range st.deps {
 			dep, ok := p.keys[d]
@@ -304,6 +308,15 @@ func stageTrain() *stage {
 				Float("momentum", p.cfg.Momentum).
 				Float("clipnorm", p.cfg.ClipNorm).
 				Int("seed", p.cfg.Seed)
+			// Shards is semantic (shard-local batch-norm statistics,
+			// shard-order reduction), so it keys the artifact — but only
+			// when it departs from the legacy whole-batch path, so every
+			// pre-existing cache entry keeps its key and warm runs still
+			// hit. The process count is deliberately absent, exactly like
+			// the thread count: results are bit-identical across both.
+			if p.cfg.Shards > 1 {
+				k.Int("shards", int64(p.cfg.Shards))
+			}
 		},
 		run: func(p *pipeline) {
 			cfg := p.cfg
@@ -313,7 +326,8 @@ func stageTrain() *stage {
 				Schedule:  train.StepDecay(cfg.LR, max(cfg.Epochs/3, 1), 0.3),
 				Seed:      cfg.Seed, ClipNorm: cfg.ClipNorm,
 				Threads: cfg.Threads, Trace: cfg.Trace,
-				Reg: regOrNil(p.reg),
+				Reg:    regOrNil(p.reg),
+				Shards: cfg.Shards, Dist: cfg.Dist, DistToken: p.keys["train"],
 			}
 			if cfg.Log != nil {
 				tcfg.Log = train.LogTo(cfg.Log)
@@ -324,7 +338,11 @@ func stageTrain() *stage {
 				if cfg.CheckpointEvery != 0 {
 					every = cfg.CheckpointEvery
 				}
-				if every > 0 {
+				// Only the coordinator writes mid-training checkpoints: the
+				// ranks' checkpoints would be byte-identical in model state
+				// but differ in timing stats, and one writer per key is the
+				// cleaner contract.
+				if every > 0 && !p.distWorker() {
 					tcfg.CheckpointEvery = every
 					tcfg.Checkpoint = func(ck *train.Checkpoint) {
 						err := p.store.Put("epoch-checkpoint", epochKey(key, ck.Epoch), func(w io.Writer) error {
@@ -336,6 +354,9 @@ func stageTrain() *stage {
 					}
 				}
 				if cfg.Resume {
+					// Every rank probes the shared store and finds the same
+					// checkpoint, so their resume cursors agree; the begin
+					// manifest's StartEpoch double-checks that.
 					if ck := p.probeEpochCheckpoint(key); ck != nil {
 						tcfg.Resume = ck
 						p.logf("cache: resuming training from epoch %d/%d", ck.Epoch, cfg.Epochs)
@@ -343,26 +364,20 @@ func stageTrain() *stage {
 				}
 			}
 			p.trainRes = train.Run(p.m, p.x, p.y, tcfg)
+			if p.trainRes.DistSkipped {
+				// This worker arrived at a run the coordinator satisfied
+				// from cache: nothing was exchanged, so load the published
+				// model state instead.
+				if p.store == nil {
+					panic("core: dist worker found a completed run but has no store to load it from")
+				}
+				if err := p.loadTrainedState(key); err != nil {
+					panic(fmt.Sprintf("core: dist worker loading completed run: %v", err))
+				}
+			}
 		},
 		load: func(p *pipeline, key string) error {
-			rc, err := p.store.Get("model-state", key)
-			if err != nil {
-				return err
-			}
-			defer rc.Close()
-			ck, err := train.DecodeCheckpoint(rc)
-			if err != nil {
-				return err
-			}
-			if err := ck.Restore(p.m, nil); err != nil {
-				return err
-			}
-			// train.Run installs the execution context as a side effect;
-			// the cached path must too, so fine-tuning and evaluation see
-			// the same thread count either way.
-			p.m.SetThreads(p.cfg.Threads)
-			p.trainRes = train.Result{Epochs: ck.Stats}
-			return nil
+			return p.loadTrainedState(key)
 		},
 		save: func(p *pipeline, key string) error {
 			ck := train.Capture(p.m, nil, p.cfg.Epochs, p.trainRes.Epochs)
@@ -371,10 +386,48 @@ func stageTrain() *stage {
 			})
 		},
 		after: func(p *pipeline) {
+			// The coordinator marks the run complete first thing — whether
+			// it trained or loaded from cache — so a worker polling
+			// AwaitBegin for a cache-satisfied run unblocks without
+			// waiting out the accuracy evaluation below.
+			if p.cfg.Dist != nil && p.cfg.Dist.Coordinator() {
+				if err := p.cfg.Dist.Complete(p.keys["train"]); err != nil {
+					p.logf("dist: publish completion marker: %v", err)
+				}
+			}
 			p.res.PreQuantTestAcc = p.m.Accuracy(p.tx, p.ty, 64)
 			p.logf("trained: test acc %.2f%%", 100*p.res.PreQuantTestAcc)
 		},
 	}
+}
+
+// distWorker reports whether this pipeline runs on a worker rank.
+func (p *pipeline) distWorker() bool {
+	return p.cfg.Dist != nil && p.cfg.Dist.Worker()
+}
+
+// loadTrainedState restores the train stage's published checkpoint from
+// the store — the cache-hit path, and a dist worker's fallback when the
+// coordinator satisfied the run from cache.
+func (p *pipeline) loadTrainedState(key string) error {
+	rc, err := p.store.Get("model-state", key)
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+	ck, err := train.DecodeCheckpoint(rc)
+	if err != nil {
+		return err
+	}
+	if err := ck.Restore(p.m, nil); err != nil {
+		return err
+	}
+	// train.Run installs the execution context as a side effect;
+	// the cached path must too, so fine-tuning and evaluation see
+	// the same thread count either way.
+	p.m.SetThreads(p.cfg.Threads)
+	p.trainRes = train.Result{Epochs: ck.Stats}
+	return nil
 }
 
 // epochKey derives the key of a mid-training checkpoint from the train

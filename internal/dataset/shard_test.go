@@ -1,0 +1,73 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestShardPartitionsPermutation pins the sharding contract the
+// data-parallel trainer depends on: for any shard count, the shards
+// partition an epoch permutation exactly — no gaps, no overlaps — and
+// concatenating the shard slices in shard order reproduces the global
+// sample order element for element.
+func TestShardPartitionsPermutation(t *testing.T) {
+	for _, total := range []int{1, 7, 32, 48, 100} {
+		perm := rand.New(rand.NewSource(int64(total))).Perm(total)
+		for _, n := range []int{1, 2, 4, 7} {
+			if n > total {
+				continue
+			}
+			var concat []int
+			prevHi := 0
+			minSize, maxSize := total, 0
+			for i := 0; i < n; i++ {
+				lo, hi := Shard(total, i, n)
+				if lo != prevHi {
+					t.Fatalf("total=%d n=%d: shard %d starts at %d, previous ended at %d", total, n, i, lo, prevHi)
+				}
+				if hi < lo {
+					t.Fatalf("total=%d n=%d: shard %d is [%d,%d)", total, n, i, lo, hi)
+				}
+				if size := hi - lo; size < minSize {
+					minSize = size
+				} else if size > maxSize {
+					maxSize = size
+				}
+				concat = append(concat, perm[lo:hi]...)
+				prevHi = hi
+			}
+			if prevHi != total {
+				t.Fatalf("total=%d n=%d: shards end at %d", total, n, prevHi)
+			}
+			for j := range perm {
+				if concat[j] != perm[j] {
+					t.Fatalf("total=%d n=%d: concatenated order diverges at %d: %d != %d", total, n, j, concat[j], perm[j])
+				}
+			}
+			if maxSize > 0 && maxSize-minSize > 1 {
+				t.Fatalf("total=%d n=%d: unbalanced shards (min %d, max %d)", total, n, minSize, maxSize)
+			}
+		}
+	}
+}
+
+func TestShardBounds(t *testing.T) {
+	if lo, hi := Shard(10, 0, 1); lo != 0 || hi != 10 {
+		t.Fatalf("Shard(10,0,1) = [%d,%d)", lo, hi)
+	}
+	// n > total: leading shards get one element each, trailing ones none.
+	seen := 0
+	for i := 0; i < 7; i++ {
+		lo, hi := Shard(3, i, 7)
+		seen += hi - lo
+	}
+	if seen != 3 {
+		t.Fatalf("Shard(3,·,7) covers %d elements", seen)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Shard with out-of-range index did not panic")
+		}
+	}()
+	Shard(10, 4, 4)
+}

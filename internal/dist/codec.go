@@ -1,0 +1,182 @@
+package dist
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Wire formats. Both are magic header + SHA-256 payload digest + gob
+// payload. The digest is what makes mailbox reads trustworthy across
+// process boundaries: the store's atomic rename already prevents torn
+// reads, and the digest additionally rejects foreign or corrupted bytes
+// before gob gets to parse them (a gob error deep in a float slice is
+// much harder to diagnose than "payload digest mismatch").
+const (
+	partialMagic = "DACGRD1\n"
+	ctlMagic     = "DACCTL1\n"
+)
+
+// ErrBadPartial reports that a stream is not a gradient-partial artifact.
+var ErrBadPartial = errors.New("dist: bad magic (not a gradient partial)")
+
+// ErrBadCtl reports that a stream is not a control artifact.
+var ErrBadCtl = errors.New("dist: bad magic (not a dist control message)")
+
+// Partial is one shard's contribution to one optimizer step: the shard's
+// flattened gradient (already reduced over the shard's samples in sample
+// order, and already in global-mean scale), its data loss, and the batch
+// moments of every batch-norm layer, concatenated per layer in walk order
+// (C means then C variances per layer).
+type Partial struct {
+	// Token identifies the training run (all ranks derive it identically).
+	Token string
+	// Epoch, Step, and Shard position the partial: epoch index, step index
+	// within the epoch, shard index within the step's batch.
+	Epoch, Step, Shard int
+	// Loss is the shard's data loss, scaled by 1/(global batch size) so
+	// summing shard losses in shard order yields the batch's mean loss.
+	Loss float64
+	// Grad is the flattened per-parameter gradient (nn.Model.ReadGrads).
+	Grad []float64
+	// BNMoments concatenates every batch-norm layer's batch moments in
+	// walk order: for each layer, C means followed by C variances.
+	BNMoments []float64
+}
+
+// Manifest is the coordinator's "begin" announcement for one training run:
+// every field a worker must agree on before exchanging partials. A worker
+// validates its locally derived view against the manifest and fails fast
+// on any mismatch — a configuration drift would otherwise surface as a
+// hung fetch or, worse, a silently different model.
+type Manifest struct {
+	Token      string
+	Procs      int
+	Shards     int
+	BatchSize  int
+	Steps      int // optimizer steps per epoch
+	Epochs     int
+	StartEpoch int // first epoch to run (resume cursor; 0 for fresh runs)
+	ParamCount int // total scalar parameter count
+}
+
+// ctl is the control-channel payload: a begin announcement carrying the
+// manifest, a completion marker published after the coordinator's train
+// stage has finished (fresh or from cache) so late-joining workers know to
+// load the result instead of waiting for a run that will never start, or a
+// per-rank done marker workers publish after their last step so the
+// coordinator knows the final partial generations have been consumed and
+// can be garbage collected.
+type ctl struct {
+	Kind     string // "begin", "complete", or "done"
+	Manifest Manifest
+}
+
+// encodeFramed writes magic + sha256(payload) + payload.
+func encodeFramed(w io.Writer, magic string, payload []byte) error {
+	if _, err := io.WriteString(w, magic); err != nil {
+		return fmt.Errorf("dist: write header: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	if _, err := w.Write(sum[:]); err != nil {
+		return fmt.Errorf("dist: write digest: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("dist: write payload: %w", err)
+	}
+	return nil
+}
+
+// decodeFramed verifies the magic and payload digest, returning the
+// payload bytes.
+func decodeFramed(r io.Reader, magic string, badMagic error) ([]byte, error) {
+	hdr := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("dist: truncated header: %w", io.ErrUnexpectedEOF)
+	}
+	if string(hdr) != magic {
+		return nil, fmt.Errorf("%w: header %q", badMagic, hdr)
+	}
+	var sum [sha256.Size]byte
+	if _, err := io.ReadFull(r, sum[:]); err != nil {
+		return nil, fmt.Errorf("dist: truncated digest: %w", io.ErrUnexpectedEOF)
+	}
+	payload, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("dist: read payload: %w", err)
+	}
+	if sha256.Sum256(payload) != sum {
+		return nil, fmt.Errorf("dist: payload digest mismatch (%d bytes)", len(payload))
+	}
+	return payload, nil
+}
+
+// EncodePartial serializes p to w in the DACGRD1 format.
+func EncodePartial(w io.Writer, p *Partial) error {
+	if err := validatePartial(p); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+		return fmt.Errorf("dist: encode partial: %w", err)
+	}
+	return encodeFramed(w, partialMagic, buf.Bytes())
+}
+
+// DecodePartial reads a DACGRD1 partial from r, verifying the magic, the
+// payload digest, and the structural invariants.
+func DecodePartial(r io.Reader) (*Partial, error) {
+	payload, err := decodeFramed(r, partialMagic, ErrBadPartial)
+	if err != nil {
+		return nil, err
+	}
+	var p Partial
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&p); err != nil {
+		return nil, fmt.Errorf("dist: decode partial: %w", err)
+	}
+	if err := validatePartial(&p); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+func validatePartial(p *Partial) error {
+	if p.Token == "" {
+		return fmt.Errorf("dist: partial has no token")
+	}
+	if p.Epoch < 0 || p.Step < 0 || p.Shard < 0 {
+		return fmt.Errorf("dist: partial has negative position (%d,%d,%d)", p.Epoch, p.Step, p.Shard)
+	}
+	if len(p.Grad) == 0 {
+		return fmt.Errorf("dist: partial has empty gradient")
+	}
+	return nil
+}
+
+// encodeCtl serializes a control message in the DACCTL1 format.
+func encodeCtl(w io.Writer, c *ctl) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(c); err != nil {
+		return fmt.Errorf("dist: encode control: %w", err)
+	}
+	return encodeFramed(w, ctlMagic, buf.Bytes())
+}
+
+// decodeCtl reads a DACCTL1 control message from r.
+func decodeCtl(r io.Reader) (*ctl, error) {
+	payload, err := decodeFramed(r, ctlMagic, ErrBadCtl)
+	if err != nil {
+		return nil, err
+	}
+	var c ctl
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&c); err != nil {
+		return nil, fmt.Errorf("dist: decode control: %w", err)
+	}
+	if c.Kind != "begin" && c.Kind != "complete" && c.Kind != "done" {
+		return nil, fmt.Errorf("dist: unknown control kind %q", c.Kind)
+	}
+	return &c, nil
+}

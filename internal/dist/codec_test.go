@@ -1,0 +1,136 @@
+package dist
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func samplePartial() *Partial {
+	return &Partial{
+		Token: "run-token", Epoch: 3, Step: 7, Shard: 2,
+		Loss:      0.125,
+		Grad:      []float64{1.5, -2.25, 0, 3.75},
+		BNMoments: []float64{0.5, 0.25},
+	}
+}
+
+func TestPartialCodecRoundTrip(t *testing.T) {
+	p := samplePartial()
+	var buf bytes.Buffer
+	if err := EncodePartial(&buf, p); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodePartial(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Token != p.Token || got.Epoch != p.Epoch || got.Step != p.Step || got.Shard != p.Shard || got.Loss != p.Loss {
+		t.Fatalf("round trip mismatch: %+v != %+v", got, p)
+	}
+	for i, v := range p.Grad {
+		if got.Grad[i] != v {
+			t.Fatalf("Grad[%d] = %v, want %v", i, got.Grad[i], v)
+		}
+	}
+	for i, v := range p.BNMoments {
+		if got.BNMoments[i] != v {
+			t.Fatalf("BNMoments[%d] = %v, want %v", i, got.BNMoments[i], v)
+		}
+	}
+}
+
+func TestPartialCodecRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodePartial(&buf, samplePartial()); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+
+	// Flip one payload byte: the digest check must reject it before gob
+	// ever parses the bytes.
+	raw := append([]byte(nil), buf.Bytes()...)
+	raw[len(raw)-1] ^= 0x40
+	if _, err := DecodePartial(bytes.NewReader(raw)); err == nil || !strings.Contains(err.Error(), "digest mismatch") {
+		t.Fatalf("corrupted payload: err = %v, want digest mismatch", err)
+	}
+
+	// Wrong magic: a control artifact is not a partial.
+	var ctlBuf bytes.Buffer
+	if err := encodeCtl(&ctlBuf, &ctl{Kind: "begin", Manifest: Manifest{Token: "x"}}); err != nil {
+		t.Fatalf("encode ctl: %v", err)
+	}
+	if _, err := DecodePartial(bytes.NewReader(ctlBuf.Bytes())); !errors.Is(err, ErrBadPartial) {
+		t.Fatalf("ctl bytes as partial: err = %v, want ErrBadPartial", err)
+	}
+
+	// Truncation.
+	if _, err := DecodePartial(bytes.NewReader(buf.Bytes()[:10])); err == nil {
+		t.Fatal("truncated stream decoded without error")
+	}
+}
+
+func TestPartialCodecRejectsInvalid(t *testing.T) {
+	cases := []*Partial{
+		{Token: "", Epoch: 0, Step: 0, Shard: 0, Grad: []float64{1}},
+		{Token: "t", Epoch: -1, Step: 0, Shard: 0, Grad: []float64{1}},
+		{Token: "t", Epoch: 0, Step: 0, Shard: 0, Grad: nil},
+	}
+	for i, p := range cases {
+		var buf bytes.Buffer
+		if err := EncodePartial(&buf, p); err == nil {
+			t.Fatalf("case %d: invalid partial encoded without error", i)
+		}
+	}
+}
+
+func TestCtlCodecRoundTrip(t *testing.T) {
+	man := Manifest{
+		Token: "run-token", Procs: 4, Shards: 4, BatchSize: 32,
+		Steps: 10, Epochs: 25, StartEpoch: 5, ParamCount: 12345,
+	}
+	var buf bytes.Buffer
+	if err := encodeCtl(&buf, &ctl{Kind: "begin", Manifest: man}); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	c, err := decodeCtl(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if c.Kind != "begin" || c.Manifest != man {
+		t.Fatalf("round trip mismatch: %+v", c)
+	}
+
+	var bad bytes.Buffer
+	if err := encodeFramed(&bad, ctlMagic, []byte("not gob")); err != nil {
+		t.Fatalf("encode framed: %v", err)
+	}
+	if _, err := decodeCtl(bytes.NewReader(bad.Bytes())); err == nil {
+		t.Fatal("malformed ctl payload decoded without error")
+	}
+	if _, err := decodeCtl(bytes.NewReader(buf.Bytes()[:4])); err == nil {
+		t.Fatal("truncated ctl decoded without error")
+	}
+}
+
+func TestMailboxKeysArePositional(t *testing.T) {
+	a := partialKey("tok", 1, 2, 3)
+	if b := partialKey("tok", 1, 2, 3); b != a {
+		t.Fatalf("same position, different keys: %s != %s", b, a)
+	}
+	seen := map[string]bool{a: true}
+	for _, k := range []string{
+		partialKey("tok", 0, 2, 3),
+		partialKey("tok", 1, 0, 3),
+		partialKey("tok", 1, 2, 0),
+		partialKey("other", 1, 2, 3),
+	} {
+		if seen[k] {
+			t.Fatalf("key collision: %s", k)
+		}
+		seen[k] = true
+	}
+	if ctlKey("tok", "begin") == ctlKey("tok", "complete") {
+		t.Fatal("begin and complete markers share a key")
+	}
+}

@@ -1,0 +1,192 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/obs"
+)
+
+// Artifact kinds used by the mailbox. Partials are transient (garbage
+// collected once consumed); control markers are small and persist for the
+// life of the mailbox directory so late joiners and re-runs observe them.
+const (
+	kindPartial = "dist-partial"
+	kindCtl     = "dist-ctl"
+)
+
+// partialKey derives the positional mailbox key of one shard's partial.
+// Keys are position-addressed — token + epoch + step + shard — rather than
+// content-addressed: the reader must be able to name the artifact it is
+// waiting for before the writer has produced it.
+func partialKey(token string, epoch, step, shard int) string {
+	return artifact.NewKey("dist-partial/v1").
+		Str("token", token).
+		Int("epoch", int64(epoch)).
+		Int("step", int64(step)).
+		Int("shard", int64(shard)).
+		Sum()
+}
+
+// ctlKey derives the key of a run's control marker ("begin" or "complete").
+func ctlKey(token, what string) string {
+	return artifact.NewKey("dist-ctl/v1").
+		Str("token", token).
+		Str("what", what).
+		Sum()
+}
+
+// PublishPartial publishes one shard partial into the mailbox. The store's
+// temp-file + rename publication makes it atomic: a polling reader either
+// misses it entirely or reads the complete artifact.
+func (s *Session) PublishPartial(p *Partial) error {
+	err := s.store.Put(kindPartial, partialKey(p.Token, p.Epoch, p.Step, p.Shard), func(w io.Writer) error {
+		return EncodePartial(w, p)
+	})
+	if err != nil {
+		return err
+	}
+	if obs.Enabled() {
+		obs.Default.Counter("dist_partials_published_total").Inc()
+	}
+	return nil
+}
+
+// FetchPartial polls the mailbox for a peer's shard partial, verifying the
+// payload digest and that the partial is the one asked for. It returns an
+// error if the session's timeout elapses first — the peer is presumed dead
+// and the run fails rather than hanging.
+func (s *Session) FetchPartial(token string, epoch, step, shard int) (*Partial, error) {
+	key := partialKey(token, epoch, step, shard)
+	var waited time.Duration
+	start := time.Now()
+	for {
+		if s.store.Has(kindPartial, key) {
+			rc, err := s.store.Get(kindPartial, key)
+			if err != nil {
+				return nil, err
+			}
+			p, err := DecodePartial(rc)
+			rc.Close()
+			if err != nil {
+				return nil, fmt.Errorf("dist: partial (epoch %d, step %d, shard %d): %w", epoch, step, shard, err)
+			}
+			if p.Token != token || p.Epoch != epoch || p.Step != step || p.Shard != shard {
+				return nil, fmt.Errorf("dist: partial under key for (epoch %d, step %d, shard %d) claims (epoch %d, step %d, shard %d)",
+					epoch, step, shard, p.Epoch, p.Step, p.Shard)
+			}
+			if obs.Enabled() {
+				obs.Default.Counter("dist_partials_fetched_total").Inc()
+				obs.Default.Counter("dist_exchange_wait_ns_total").Add(int64(time.Since(start)))
+			}
+			return p, nil
+		}
+		if waited >= s.timeout {
+			return nil, fmt.Errorf("dist: rank %d timed out after %v waiting for partial (epoch %d, step %d, shard %d) — is the owning process still running?",
+				s.rank, s.timeout, epoch, step, shard)
+		}
+		time.Sleep(s.poll)
+		waited += s.poll
+	}
+}
+
+// Begin publishes the coordinator's run announcement. Workers block in
+// AwaitBegin until it (or the run's completion marker) appears.
+func (s *Session) Begin(man Manifest) error {
+	if man.Token == "" {
+		return fmt.Errorf("dist: Begin with empty token")
+	}
+	return s.store.Put(kindCtl, ctlKey(man.Token, "begin"), func(w io.Writer) error {
+		return encodeCtl(w, &ctl{Kind: "begin", Manifest: man})
+	})
+}
+
+// Complete publishes the run's completion marker. The coordinator's
+// pipeline publishes it after its train stage finishes — whether it
+// trained or loaded the result from cache — so a worker that arrives at a
+// run the coordinator satisfied from cache loads the published state
+// instead of waiting for an exchange that will never happen.
+func (s *Session) Complete(token string) error {
+	return s.store.Put(kindCtl, ctlKey(token, "complete"), func(w io.Writer) error {
+		return encodeCtl(w, &ctl{Kind: "complete", Manifest: Manifest{Token: token}})
+	})
+}
+
+// AwaitBegin polls for the run's begin announcement. It returns
+// (manifest, false, nil) once the run begins, or (zero, true, nil) if the
+// run's completion marker appears without a begin — the coordinator
+// satisfied the run from cache, and the caller should load the result.
+func (s *Session) AwaitBegin(token string) (Manifest, bool, error) {
+	beginKey := ctlKey(token, "begin")
+	completeKey := ctlKey(token, "complete")
+	var waited time.Duration
+	for {
+		if s.store.Has(kindCtl, beginKey) {
+			rc, err := s.store.Get(kindCtl, beginKey)
+			if err != nil {
+				return Manifest{}, false, err
+			}
+			c, err := decodeCtl(rc)
+			rc.Close()
+			if err != nil {
+				return Manifest{}, false, err
+			}
+			if c.Kind != "begin" || c.Manifest.Token != token {
+				return Manifest{}, false, fmt.Errorf("dist: begin marker for token %.8s is malformed", token)
+			}
+			return c.Manifest, false, nil
+		}
+		if s.store.Has(kindCtl, completeKey) {
+			return Manifest{}, true, nil
+		}
+		if waited >= s.timeout {
+			return Manifest{}, false, fmt.Errorf("dist: rank %d timed out after %v waiting for run %.8s to begin — is the coordinator still running?",
+				s.rank, s.timeout, token)
+		}
+		time.Sleep(s.poll)
+		waited += s.poll
+	}
+}
+
+// PublishDone publishes this rank's per-run done marker. A worker
+// publishes it after its last optimizer step; the coordinator waits for
+// every worker's marker (AwaitDone) before sweeping the final partial
+// generations, because completing the run's last step only proves the
+// peers *published* those generations — not that they have consumed them.
+func (s *Session) PublishDone(token string) error {
+	return s.store.Put(kindCtl, ctlKey(token, fmt.Sprintf("done-%d", s.rank)), func(w io.Writer) error {
+		return encodeCtl(w, &ctl{Kind: "done", Manifest: Manifest{Token: token}})
+	})
+}
+
+// AwaitDone polls for a peer rank's done marker, with the session timeout.
+func (s *Session) AwaitDone(token string, rank int) error {
+	key := ctlKey(token, fmt.Sprintf("done-%d", rank))
+	var waited time.Duration
+	for !s.store.Has(kindCtl, key) {
+		if waited >= s.timeout {
+			return fmt.Errorf("dist: rank %d timed out after %v waiting for rank %d to finish run %.8s",
+				s.rank, s.timeout, rank, token)
+		}
+		time.Sleep(s.poll)
+		waited += s.poll
+	}
+	return nil
+}
+
+// CollectPartials deletes every shard partial of one (epoch, step)
+// generation. Only the coordinator calls it, two generations behind the
+// live one: ranks advance in lockstep (each step's reduce consumes every
+// shard of that step before the next step's partials exist), so a
+// coordinator working on step s+2 proves every rank has consumed step s.
+// Deleting a missing partial is a no-op, which also covers the final
+// sweep's overlap with per-step collection.
+func (s *Session) CollectPartials(token string, epoch, step, shards int) {
+	for k := 0; k < shards; k++ {
+		if err := s.store.Delete(kindPartial, partialKey(token, epoch, step, k)); err == nil && obs.Enabled() {
+			obs.Default.Counter("dist_partials_collected_total").Inc()
+		}
+	}
+}

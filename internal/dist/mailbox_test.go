@@ -1,0 +1,145 @@
+package dist
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func testPair(t *testing.T) (coord, worker *Session) {
+	t.Helper()
+	dir := t.TempDir()
+	open := func(rank int) *Session {
+		s, err := New(Options{Dir: dir, Rank: rank, Procs: 2,
+			Poll: time.Millisecond, Timeout: 5 * time.Second})
+		if err != nil {
+			t.Fatalf("New(rank=%d): %v", rank, err)
+		}
+		return s
+	}
+	return open(0), open(1)
+}
+
+func TestSessionValidation(t *testing.T) {
+	dir := t.TempDir()
+	for _, o := range []Options{
+		{Dir: dir, Rank: 0, Procs: 1},
+		{Dir: dir, Rank: 2, Procs: 2},
+		{Dir: dir, Rank: -1, Procs: 2},
+		{Dir: "", Rank: 0, Procs: 2},
+	} {
+		if _, err := New(o); err == nil {
+			t.Fatalf("New(%+v) succeeded, want error", o)
+		}
+	}
+	coord, worker := testPair(t)
+	if !coord.Coordinator() || coord.Worker() || coord.Rank() != 0 {
+		t.Fatalf("rank 0 misclassified: %+v", coord)
+	}
+	if worker.Coordinator() || !worker.Worker() || worker.Rank() != 1 || worker.Procs() != 2 {
+		t.Fatalf("rank 1 misclassified: %+v", worker)
+	}
+}
+
+func TestMailboxPublishFetchCollect(t *testing.T) {
+	coord, worker := testPair(t)
+	p := samplePartial()
+	if err := worker.PublishPartial(p); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	got, err := coord.FetchPartial(p.Token, p.Epoch, p.Step, p.Shard)
+	if err != nil {
+		t.Fatalf("fetch: %v", err)
+	}
+	if got.Loss != p.Loss || len(got.Grad) != len(p.Grad) {
+		t.Fatalf("fetched partial mismatch: %+v", got)
+	}
+	coord.CollectPartials(p.Token, p.Epoch, p.Step, p.Shard+1)
+	if coord.store.Has(kindPartial, partialKey(p.Token, p.Epoch, p.Step, p.Shard)) {
+		t.Fatal("partial survived collection")
+	}
+	// Collecting an already-collected generation is a no-op.
+	coord.CollectPartials(p.Token, p.Epoch, p.Step, p.Shard+1)
+}
+
+func TestFetchPartialTimesOut(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Options{Dir: dir, Rank: 1, Procs: 2,
+		Poll: time.Millisecond, Timeout: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.FetchPartial("tok", 0, 0, 0)
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+}
+
+func TestBeginAwaitComplete(t *testing.T) {
+	coord, worker := testPair(t)
+	man := Manifest{Token: "run-a", Procs: 2, Shards: 2, BatchSize: 8,
+		Steps: 6, Epochs: 2, ParamCount: 100}
+	if err := coord.Begin(man); err != nil {
+		t.Fatalf("begin: %v", err)
+	}
+	got, completed, err := worker.AwaitBegin("run-a")
+	if err != nil || completed {
+		t.Fatalf("await: completed=%v err=%v", completed, err)
+	}
+	if got != man {
+		t.Fatalf("manifest mismatch: %+v != %+v", got, man)
+	}
+
+	// A run the coordinator satisfied from cache: complete without begin.
+	if err := coord.Complete("run-b"); err != nil {
+		t.Fatalf("complete: %v", err)
+	}
+	_, completed, err = worker.AwaitBegin("run-b")
+	if err != nil || !completed {
+		t.Fatalf("await completed run: completed=%v err=%v", completed, err)
+	}
+
+	// An unknown run times out rather than hanging.
+	fast, err := New(Options{Dir: coord.Dir(), Rank: 1, Procs: 2,
+		Poll: time.Millisecond, Timeout: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fast.AwaitBegin("run-never"); err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("await unknown run: err = %v, want timeout", err)
+	}
+
+	if err := coord.Begin(Manifest{}); err == nil {
+		t.Fatal("Begin with empty token succeeded")
+	}
+}
+
+func TestRankShardsPartition(t *testing.T) {
+	for _, tc := range []struct{ shards, procs int }{
+		{1, 1}, {4, 1}, {4, 2}, {4, 4}, {7, 3}, {8, 4},
+	} {
+		covered := make([]int, tc.shards)
+		prevHi := 0
+		for r := 0; r < tc.procs; r++ {
+			lo, hi := RankShards(tc.shards, tc.procs, r)
+			if lo != prevHi {
+				t.Fatalf("shards=%d procs=%d rank=%d: lo=%d, want %d (contiguous)", tc.shards, tc.procs, r, lo, prevHi)
+			}
+			if hi < lo {
+				t.Fatalf("shards=%d procs=%d rank=%d: empty-negative range [%d,%d)", tc.shards, tc.procs, r, lo, hi)
+			}
+			for k := lo; k < hi; k++ {
+				covered[k]++
+			}
+			prevHi = hi
+		}
+		if prevHi != tc.shards {
+			t.Fatalf("shards=%d procs=%d: ranks cover [0,%d), want [0,%d)", tc.shards, tc.procs, prevHi, tc.shards)
+		}
+		for k, c := range covered {
+			if c != 1 {
+				t.Fatalf("shards=%d procs=%d: shard %d owned by %d ranks", tc.shards, tc.procs, k, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package dist implements deterministic multi-process data parallelism for
+// the trainer: a coordinator (rank 0) and N-1 workers executing the same
+// training program in lockstep, sharding each batch's gradient computation
+// and exchanging per-shard gradient partials through a shared
+// content-addressed artifact store used as a mailbox.
+//
+// The design goal is the repo's signature bit-reproducibility, extended
+// from thread counts to process counts: a run's result is a pure function
+// of its semantic configuration (which includes the shard count), never of
+// the (threads × processes) execution shape. Three properties deliver it:
+//
+//   - Shard boundaries are a pure function of (batch size, shard count)
+//     via dataset.Shard, identical on every rank.
+//   - Each shard's partial is produced by the existing per-sample
+//     sample-order reduction (bit-identical at any thread count), and the
+//     global reduction is a fixed left fold over shards in ascending shard
+//     index — never "whoever arrives first".
+//   - Batch-norm running statistics are deferred and replayed per shard in
+//     the same shard order on every rank (nn.BatchNorm2D.DeferStats).
+//
+// The mailbox inherits the artifact store's atomic publication (temp file
+// + rename): a reader either sees a complete partial or nothing, and the
+// DACGRD1 payload digest rejects torn or foreign bytes. Keys are
+// positional — token + epoch + step + shard — so a generation's partials
+// are addressable for garbage collection once every rank has consumed
+// them. See DESIGN.md §15 for the full protocol.
+package dist
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/dataset"
+)
+
+// Options configures a rank's view of a distributed run.
+type Options struct {
+	// Dir is the shared mailbox directory (an artifact store root). Every
+	// rank of a run must point at the same directory.
+	Dir string
+	// Rank identifies this process: 0 is the coordinator, 1..Procs-1 are
+	// workers.
+	Rank int
+	// Procs is the total process count.
+	Procs int
+	// Poll is the mailbox polling interval (default 2ms). Polling is a
+	// stat() per probe; partials take far longer than that to compute, so
+	// the default costs nothing measurable.
+	Poll time.Duration
+	// Timeout bounds every wait on a peer (default 10 minutes). A rank
+	// that waits longer concludes its peer is gone and fails the run —
+	// see the failure semantics in DESIGN.md §15.
+	Timeout time.Duration
+}
+
+// Session is one rank's handle on a distributed run. It is cheap and
+// carries no per-run state beyond the mailbox store, so one session can
+// serve many sequential training runs (each identified by its token).
+type Session struct {
+	store   *artifact.Store
+	rank    int
+	procs   int
+	poll    time.Duration
+	timeout time.Duration
+}
+
+// New opens a session on the shared mailbox directory.
+func New(o Options) (*Session, error) {
+	if o.Procs < 2 {
+		return nil, fmt.Errorf("dist: %d processes (a distributed run needs at least 2)", o.Procs)
+	}
+	if o.Rank < 0 || o.Rank >= o.Procs {
+		return nil, fmt.Errorf("dist: rank %d out of range [0,%d)", o.Rank, o.Procs)
+	}
+	if o.Dir == "" {
+		return nil, fmt.Errorf("dist: mailbox directory is required")
+	}
+	store, err := artifact.Open(o.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("dist: %w", err)
+	}
+	if o.Poll <= 0 {
+		o.Poll = 2 * time.Millisecond
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Minute
+	}
+	return &Session{store: store, rank: o.Rank, procs: o.Procs, poll: o.Poll, timeout: o.Timeout}, nil
+}
+
+// Rank returns this process's rank (0 = coordinator).
+func (s *Session) Rank() int { return s.rank }
+
+// Procs returns the total process count of the run.
+func (s *Session) Procs() int { return s.procs }
+
+// Coordinator reports whether this rank is the coordinator.
+func (s *Session) Coordinator() bool { return s.rank == 0 }
+
+// Worker reports whether this rank is a worker.
+func (s *Session) Worker() bool { return s.rank != 0 }
+
+// Dir returns the mailbox directory.
+func (s *Session) Dir() string { return s.store.Root() }
+
+// RankShards returns the contiguous shard range [lo, hi) owned by rank of
+// a run with the given shard and process counts — the same balanced
+// partition dataset.Shard applies to batches, so ownership is a pure
+// function of (shards, procs, rank) and identical on every process.
+func RankShards(shards, procs, rank int) (lo, hi int) {
+	return dataset.Shard(shards, rank, procs)
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/dist"
 	"repro/internal/nn"
 	"repro/internal/obs"
 )
@@ -46,6 +47,13 @@ type Env struct {
 	// Resume, when true and Cache is set, lets interrupted training runs
 	// continue from their latest epoch checkpoint.
 	Resume bool
+	// Dist, when non-nil, trains every run across the session's process
+	// group (see core.Config.Dist). Coordinator and workers execute the
+	// same experiment sequence; because runs are issued deterministically,
+	// the ranks meet at each training run in order.
+	Dist *dist.Session
+	// Shards is the per-batch gradient shard count (see core.Config.Shards).
+	Shards int
 
 	cache map[string]*core.Result
 	data  map[string]*dataset.Dataset
@@ -78,6 +86,8 @@ func (e *Env) run(key string, cfg core.Config) *core.Result {
 	cfg.Trace = e.Trace
 	cfg.Cache = e.Cache
 	cfg.Resume = e.Resume
+	cfg.Dist = e.Dist
+	cfg.Shards = e.Shards
 	r := core.Run(cfg)
 	e.cache[key] = r
 	return r

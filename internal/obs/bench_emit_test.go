@@ -24,6 +24,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/tensor"
+	"repro/internal/train"
 )
 
 // emitBench, when set to a path, makes TestEmitObsBench measure the
@@ -55,6 +56,42 @@ func forwardNsPerOp(m *nn.Model, x *tensor.Tensor, rounds int) float64 {
 		res := testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				m.Forward(x)
+			}
+		})
+		if v := float64(res.NsPerOp()); v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// trainNsPerOp measures one sharded training run (Shards > 1, single
+// process) at the current obs.Enable state, minimum over rounds. Enabling
+// obs turns on the stage machine's per-step clock reads and the per-epoch
+// span recording — including the new exchange/reduce spans — so this pair
+// of measurements guards the sharded trainer's instrumentation the same way
+// the forward-pass pair guards the layer instrumentation.
+func trainNsPerOp(rounds int) float64 {
+	rng := rand.New(rand.NewSource(21))
+	n := 48
+	x := tensor.New(n, 1, 8, 8).RandN(rng, 0, 1)
+	y := make([]int, n)
+	for i := range y {
+		y[i] = i % 4
+	}
+	best := math.MaxFloat64
+	for r := 0; r < rounds; r++ {
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := nn.NewResNet(nn.ResNetConfig{
+					InC: 1, InH: 8, InW: 8, Classes: 4,
+					Widths: []int{4, 8}, Blocks: []int{1, 1}, Seed: 22,
+				})
+				train.Run(m, x, y, train.Config{
+					Epochs: 1, BatchSize: 8, Shards: 2,
+					Optimizer: train.NewSGD(0.05, 0.9, 0),
+					Seed:      23, Threads: 1,
+				})
 			}
 		})
 		if v := float64(res.NsPerOp()); v < best {
@@ -141,6 +178,12 @@ type obsBenchReport struct {
 	ServePlainNsPerOp  float64 `json:"serve_plain_ns_per_op"`
 	ServeTracedNsPerOp float64 `json:"serve_traced_ns_per_op"`
 	ServeOverheadPct   float64 `json:"serve_overhead_pct"`
+	// Sharded-trainer measurement: one Shards=2 training run with the
+	// stage-machine timing (forward/backward/exchange/reduce spans) off vs
+	// on.
+	TrainPlainNsPerOp float64 `json:"train_plain_ns_per_op"`
+	TrainTimedNsPerOp float64 `json:"train_timed_ns_per_op"`
+	TrainOverheadPct  float64 `json:"train_overhead_pct"`
 }
 
 func TestEmitObsBench(t *testing.T) {
@@ -170,9 +213,20 @@ func TestEmitObsBench(t *testing.T) {
 	servePlain := serveNsPerOp(t, h, body, rounds)
 	api.EnableTracing(true)
 	serveTraced := serveNsPerOp(t, h, body, rounds)
+	api.EnableTracing(false)
+
+	// Sharded trainer: the stage machine's per-step timing and per-epoch
+	// exchange/reduce span recording turn on with obs.
+	obs.Enable(false)
+	trainPlain := trainNsPerOp(rounds)
+	obs.Enable(true)
+	trainTimed := trainNsPerOp(rounds)
+	obs.Enable(false)
+	obs.Default.Reset()
 
 	overhead := (enabled - disabled) / disabled * 100
 	serveOverhead := (serveTraced - servePlain) / servePlain * 100
+	trainOverhead := (trainTimed - trainPlain) / trainPlain * 100
 	rep := obsBenchReport{
 		Threads:            runtime.GOMAXPROCS(0),
 		DisabledNsPerOp:    disabled,
@@ -182,11 +236,16 @@ func TestEmitObsBench(t *testing.T) {
 		ServePlainNsPerOp:  servePlain,
 		ServeTracedNsPerOp: serveTraced,
 		ServeOverheadPct:   serveOverhead,
+		TrainPlainNsPerOp:  trainPlain,
+		TrainTimedNsPerOp:  trainTimed,
+		TrainOverheadPct:   trainOverhead,
 	}
 	t.Logf("forward pass: disabled %.0f ns/op, enabled %.0f ns/op, overhead %+.2f%%",
 		disabled, enabled, overhead)
 	t.Logf("serving: plain %.0f ns/op, traced %.0f ns/op, overhead %+.2f%%",
 		servePlain, serveTraced, serveOverhead)
+	t.Logf("sharded training: plain %.0f ns/op, timed %.0f ns/op, overhead %+.2f%%",
+		trainPlain, trainTimed, trainOverhead)
 
 	raw, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -202,5 +261,8 @@ func TestEmitObsBench(t *testing.T) {
 	}
 	if serveOverhead > maxEnabledOverheadPct {
 		t.Fatalf("traced serving overhead %.2f%% exceeds the %.1f%% guard", serveOverhead, maxEnabledOverheadPct)
+	}
+	if trainOverhead > maxEnabledOverheadPct {
+		t.Fatalf("timed sharded-training overhead %.2f%% exceeds the %.1f%% guard", trainOverhead, maxEnabledOverheadPct)
 	}
 }

@@ -1,0 +1,313 @@
+package train
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/compute"
+	"repro/internal/dataset"
+	"repro/internal/dist"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// stepMachine is the per-step stage machine the trainer runs each batch
+// through:
+//
+//	shard → forward/backward partials → exchange → global reduce
+//
+// (the optimizer step stays in Run, shared with the legacy path). The
+// machine has two modes, chosen once per run:
+//
+// Legacy mode (Shards == 1, no dist session): the whole batch is one
+// shard, batch-norm statistics update inline during the forward pass, and
+// gradients are left exactly as backward accumulated them — byte for byte
+// the pre-refactor trainer, so every existing checkpoint, cache artifact,
+// and determinism test is untouched.
+//
+// Sharded mode (Shards > 1): the batch's permutation slice is split into
+// Shards contiguous balanced shards (dataset.Shard). Each shard is
+// forward/backwarded independently — batch norm sees shard-local batch
+// statistics, the loss is scaled by the global batch size — and its
+// flattened gradient, loss, and batch-norm moments become that shard's
+// partial. Under a dist session each rank computes only its owned shard
+// range and exchanges partials through the mailbox; single-process runs
+// compute every shard locally. The reduce stage is identical everywhere:
+// zero the gradients, fold the partials in ascending shard order, sum the
+// shard losses in shard order, and replay the batch-norm moment updates in
+// shard order. Because every (threads × processes) shape computes the
+// same partials and folds them in the same order, the post-step model
+// state is byte-identical across shapes — the run's result depends on
+// Shards (a semantic knob) but never on how the shards were scheduled.
+type stepMachine struct {
+	m      *nn.Model
+	shards int
+	sess   *dist.Session // nil for single-process runs
+	token  string
+	batch  int // global batch size
+
+	x      *tensor.Tensor
+	y      []int
+	sample int
+
+	bx *tensor.Tensor // gather buffer, rows = max shard size (== batch in legacy mode)
+	by []int
+
+	bn      []*nn.BatchNorm2D // batch-norm layers in walk order (sharded mode)
+	bnLen   int               // total moment vector length: sum over layers of 2*C
+	parts   *compute.PartialSet
+	moments [][]float64 // per-shard moment vectors, layer-major (C means, C variances)
+	losses  []float64
+
+	ownLo, ownHi int // owned shard range [lo, hi)
+
+	// collected ring: the last two published generations, garbage
+	// collected two steps behind the live one (see CollectPartials).
+	pendingGC [][2]int
+
+	timed                                   bool
+	tForward, tBackward, tExchange, tReduce time.Duration
+}
+
+// newStepMachine builds the machine for one run. In sharded mode it flips
+// every batch-norm layer into deferred-statistics mode; close undoes that.
+func newStepMachine(m *nn.Model, x *tensor.Tensor, y []int, batch, shards int, sess *dist.Session, token string) *stepMachine {
+	n := x.Dim(0)
+	sm := &stepMachine{
+		m: m, shards: shards, sess: sess, token: token, batch: batch,
+		x: x, y: y, sample: x.Len() / n,
+		ownLo: 0, ownHi: shards,
+	}
+	rows := batch
+	if shards > 1 {
+		// Max shard size of a balanced split.
+		rows = (batch + shards - 1) / shards
+	}
+	sm.bx = tensor.New(rows, sm.sample)
+	sm.by = make([]int, rows)
+	if shards == 1 {
+		return sm
+	}
+	nn.Walk(m.Net, func(l nn.Layer) {
+		switch t := l.(type) {
+		case *nn.BatchNorm2D:
+			t.DeferStats = true
+			sm.bn = append(sm.bn, t)
+			sm.bnLen += 2 * t.C
+		case *nn.Dropout:
+			// Dropout draws its mask from one sequential RNG stream in
+			// element order; a rank that skips other ranks' shards would
+			// desynchronize the stream. No current architecture trains
+			// with Dropout, so refuse loudly rather than diverge quietly.
+			panic("train: sharded/multi-process training is incompatible with Dropout's sequential RNG stream")
+		}
+	})
+	sm.parts = compute.NewPartialSet(shards, m.NumParams())
+	sm.moments = make([][]float64, shards)
+	for k := range sm.moments {
+		sm.moments[k] = make([]float64, sm.bnLen)
+	}
+	sm.losses = make([]float64, shards)
+	if sess != nil {
+		sm.ownLo, sm.ownHi = dist.RankShards(shards, sess.Procs(), sess.Rank())
+	}
+	return sm
+}
+
+// close restores the batch-norm layers' inline-statistics mode and, on the
+// coordinator, sweeps the last partial generations out of the mailbox. The
+// lag-2 lockstep argument does not cover those final generations — the
+// coordinator finishing the run's last step only proves its peers have
+// *published* them, not consumed them — so workers publish a per-rank done
+// marker and the coordinator waits for all of them before sweeping. If a
+// peer never reports (it crashed after its last publish), the sweep is
+// skipped: a finished run must not fail over mailbox hygiene.
+func (sm *stepMachine) close() {
+	for _, b := range sm.bn {
+		b.DeferStats = false
+	}
+	if sm.sess == nil {
+		return
+	}
+	if sm.sess.Worker() {
+		if err := sm.sess.PublishDone(sm.token); err != nil {
+			panic(fmt.Sprintf("train: publish done marker: %v", err))
+		}
+		return
+	}
+	for r := 1; r < sm.sess.Procs(); r++ {
+		if err := sm.sess.AwaitDone(sm.token, r); err != nil {
+			sm.pendingGC = nil
+			return
+		}
+	}
+	for _, g := range sm.pendingGC {
+		sm.sess.CollectPartials(sm.token, g[0], g[1], sm.shards)
+	}
+	sm.pendingGC = nil
+}
+
+// step runs one batch through the stage machine and returns its data loss.
+// idx is the batch's slice of the epoch permutation. The caller applies
+// the regularizer, gradient clipping, and the optimizer step afterwards.
+func (sm *stepMachine) step(epoch, step int, idx []int) float64 {
+	if sm.shards == 1 {
+		return sm.stepLegacy(idx)
+	}
+
+	// Stage: shard + forward/backward partials over the owned shard range.
+	for k := sm.ownLo; k < sm.ownHi; k++ {
+		lo, hi := dataset.Shard(len(idx), k, sm.shards)
+		bs := hi - lo
+		gather(sm.bx, sm.by, sm.x, sm.y, idx[lo:hi])
+		batch := tensor.FromSlice(sm.bx.Data()[:bs*sm.sample], append([]int{bs}, sm.m.InputShape...)...)
+		sm.m.ZeroGrad()
+		var t0 time.Time
+		if sm.timed {
+			t0 = time.Now()
+		}
+		logits := sm.m.ForwardTrain(batch)
+		loss, grad := nn.SoftmaxCrossEntropyTotal(logits, sm.by[:bs], len(idx))
+		if sm.timed {
+			t1 := time.Now()
+			sm.tForward += t1.Sub(t0)
+			t0 = t1
+		}
+		sm.m.Backward(grad)
+		sm.m.ReadGrads(sm.parts.Partial(k))
+		sm.captureMoments(k)
+		sm.losses[k] = loss
+		if sm.timed {
+			sm.tBackward += time.Since(t0)
+		}
+	}
+
+	// Stage: exchange — publish owned partials, fetch the rest.
+	if sm.sess != nil {
+		var t0 time.Time
+		if sm.timed {
+			t0 = time.Now()
+		}
+		sm.exchange(epoch, step)
+		if sm.timed {
+			sm.tExchange += time.Since(t0)
+		}
+	}
+
+	// Stage: global reduce — a fixed left fold in ascending shard order,
+	// identical on every rank and for every execution shape.
+	var t0 time.Time
+	if sm.timed {
+		t0 = time.Now()
+	}
+	sm.m.ZeroGrad()
+	loss := 0.0
+	for k := 0; k < sm.shards; k++ {
+		sm.m.AddGrads(sm.parts.Partial(k))
+		loss += sm.losses[k]
+	}
+	for k := 0; k < sm.shards; k++ {
+		off := 0
+		for _, b := range sm.bn {
+			b.ApplyBatchStats(sm.moments[k][off:off+b.C], sm.moments[k][off+b.C:off+2*b.C])
+			off += 2 * b.C
+		}
+	}
+	sm.collect(epoch, step)
+	if sm.timed {
+		sm.tReduce += time.Since(t0)
+	}
+	return loss
+}
+
+// stepLegacy is the whole-batch path: the pre-refactor step, byte for byte.
+func (sm *stepMachine) stepLegacy(idx []int) float64 {
+	bs := len(idx)
+	gather(sm.bx, sm.by, sm.x, sm.y, idx)
+	batch := sm.bx.Reshape(append([]int{bs}, sm.m.InputShape...)...)
+	sm.m.ZeroGrad()
+	var t0 time.Time
+	if sm.timed {
+		t0 = time.Now()
+	}
+	logits := sm.m.ForwardTrain(batch)
+	loss, grad := nn.SoftmaxCrossEntropy(logits, sm.by[:bs])
+	if sm.timed {
+		t1 := time.Now()
+		sm.tForward += t1.Sub(t0)
+		t0 = t1
+	}
+	sm.m.Backward(grad)
+	if sm.timed {
+		sm.tBackward += time.Since(t0)
+	}
+	return loss
+}
+
+// captureMoments snapshots every batch-norm layer's batch moments from the
+// shard that just ran forward, layer-major into the shard's moment vector.
+func (sm *stepMachine) captureMoments(k int) {
+	dst := sm.moments[k]
+	off := 0
+	for _, b := range sm.bn {
+		mu, va := b.BatchStats()
+		copy(dst[off:off+b.C], mu)
+		copy(dst[off+b.C:off+2*b.C], va)
+		off += 2 * b.C
+	}
+}
+
+// exchange publishes the rank's owned shard partials and fetches every
+// other shard from its owning rank, blocking until all are present.
+func (sm *stepMachine) exchange(epoch, step int) {
+	for k := sm.ownLo; k < sm.ownHi; k++ {
+		err := sm.sess.PublishPartial(&dist.Partial{
+			Token: sm.token, Epoch: epoch, Step: step, Shard: k,
+			Loss: sm.losses[k], Grad: sm.parts.Partial(k), BNMoments: sm.moments[k],
+		})
+		if err != nil {
+			panic(fmt.Sprintf("train: publish partial (epoch %d, step %d, shard %d): %v", epoch, step, k, err))
+		}
+	}
+	for k := 0; k < sm.shards; k++ {
+		if k >= sm.ownLo && k < sm.ownHi {
+			continue
+		}
+		p, err := sm.sess.FetchPartial(sm.token, epoch, step, k)
+		if err != nil {
+			panic(fmt.Sprintf("train: %v", err))
+		}
+		if len(p.Grad) != sm.parts.Size() || len(p.BNMoments) != sm.bnLen {
+			panic(fmt.Sprintf("train: partial (epoch %d, step %d, shard %d) has %d gradient / %d moment elements, want %d / %d",
+				epoch, step, k, len(p.Grad), len(p.BNMoments), sm.parts.Size(), sm.bnLen))
+		}
+		copy(sm.parts.Partial(k), p.Grad)
+		copy(sm.moments[k], p.BNMoments)
+		sm.losses[k] = p.Loss
+	}
+}
+
+// collect garbage-collects partials two generations behind the live step.
+// Ranks run in lockstep — a step's reduce consumes every shard of that
+// step before any rank can publish the next step's partials — so when the
+// coordinator finishes generation g, every rank has consumed generation
+// g-1 at the latest; deleting g-2 is safely behind every reader.
+func (sm *stepMachine) collect(epoch, step int) {
+	if sm.sess == nil || !sm.sess.Coordinator() {
+		return
+	}
+	sm.pendingGC = append(sm.pendingGC, [2]int{epoch, step})
+	if len(sm.pendingGC) > 2 {
+		g := sm.pendingGC[0]
+		sm.pendingGC = sm.pendingGC[1:]
+		sm.sess.CollectPartials(sm.token, g[0], g[1], sm.shards)
+	}
+}
+
+// drainTimings returns and resets the per-phase accumulators (called once
+// per epoch by Run).
+func (sm *stepMachine) drainTimings() (fwd, bwd, exch, red time.Duration) {
+	fwd, bwd, exch, red = sm.tForward, sm.tBackward, sm.tExchange, sm.tReduce
+	sm.tForward, sm.tBackward, sm.tExchange, sm.tReduce = 0, 0, 0, 0
+	return
+}

@@ -7,6 +7,9 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/artifact"
+	"repro/internal/compute"
+	"repro/internal/dist"
 	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/tensor"
@@ -51,6 +54,30 @@ type Config struct {
 	// the layer contract reduces per-sample gradients in fixed sample
 	// order — so the knob trades wall-clock only, never reproducibility.
 	Threads int
+	// Ctx, when non-nil, overrides Threads with a private execution
+	// context. Multi-rank tests that run several trainers concurrently in
+	// one process need this: the shared contexts Threads selects allow
+	// only one driver at a time.
+	Ctx *compute.Ctx
+	// Shards is the semantic data-parallel knob: each batch's gradient is
+	// computed as Shards independent contiguous shard partials (batch norm
+	// sees shard-local statistics, like gradient accumulation) and reduced
+	// in ascending shard order. Results depend on Shards but are
+	// byte-identical for every (threads × processes) execution shape that
+	// computes them. 0 defaults to 1 — the legacy whole-batch path — or to
+	// Dist.Procs() when a dist session is attached. Must be ≥ the process
+	// count and ≤ BatchSize.
+	Shards int
+	// Dist, when non-nil, runs the step machine's exchange stage over the
+	// session's mailbox: this rank computes only its owned shard range and
+	// fetches the rest from its peers. All ranks of a run must pass
+	// configurations that agree on everything above (enforced via the
+	// coordinator's begin manifest).
+	Dist *dist.Session
+	// DistToken identifies this run in the mailbox. Every rank must derive
+	// the same token; the pipeline passes its train-stage cache key. Empty
+	// derives a token from the run's configuration.
+	DistToken string
 	// Log, when non-nil, receives each epoch's statistics. Use LogTo for
 	// the default one-line stdout formatter.
 	Log func(EpochStats)
@@ -95,6 +122,13 @@ type EpochStats struct {
 	// timing is on (Config.Trace set or obs enabled) and zero otherwise,
 	// so the hot loop pays no clock reads by default.
 	Forward, Backward, Reg, Optim time.Duration
+	// Exchange and Reduce are the sharded path's phases: Exchange is the
+	// mailbox publish + peer-wait time (zero without a dist session) and
+	// Reduce is the shard-order gradient fold + batch-norm replay. They
+	// are accounted separately so Backward measures compute only — before
+	// the stage-machine split, everything after forward landed in
+	// Backward.
+	Exchange, Reduce time.Duration
 	// GroupCorr is the per-group correlation reported by the regularizer
 	// after the epoch's last step (nil unless the regularizer exposes
 	// Correlations, i.e. for the encoding attacks).
@@ -112,6 +146,12 @@ func LogTo(w io.Writer) func(EpochStats) {
 // Result summarizes a training run.
 type Result struct {
 	Epochs []EpochStats
+	// DistSkipped reports that a worker rank found the run's completion
+	// marker instead of its begin announcement: the coordinator satisfied
+	// the run from cache, nothing was trained here, and the model was left
+	// untouched. The caller (the pipeline's train stage) loads the
+	// published model state instead.
+	DistSkipped bool
 }
 
 // FinalLoss returns the last epoch's data loss (0 if no epochs ran).
@@ -122,7 +162,13 @@ func (r Result) FinalLoss() float64 {
 	return r.Epochs[len(r.Epochs)-1].DataLoss
 }
 
-// Run trains m on inputs x (N, ...) with labels y under cfg.
+// Run trains m on inputs x (N, ...) with labels y under cfg. Each epoch is
+// driven through an explicit per-step stage machine (see stepMachine):
+// shard → forward/backward partials → exchange → global reduce → optimizer
+// step. With Shards == 1 (the default) the machine collapses to the
+// whole-batch path, byte-identical to the pre-refactor trainer; with
+// Shards > 1 the result is byte-identical for every (threads × processes)
+// execution shape that computes the same shards.
 func Run(m *nn.Model, x *tensor.Tensor, y []int, cfg Config) Result {
 	n := x.Dim(0)
 	if len(y) != n {
@@ -134,15 +180,29 @@ func Run(m *nn.Model, x *tensor.Tensor, y []int, cfg Config) Result {
 	if cfg.Optimizer == nil {
 		panic("train: Config.Optimizer is required")
 	}
-	m.SetThreads(cfg.Threads)
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 1
+		if cfg.Dist != nil {
+			shards = cfg.Dist.Procs()
+		}
+	}
+	if shards > cfg.BatchSize {
+		panic(fmt.Sprintf("train: %d shards over batch size %d (every shard needs at least one sample)", shards, cfg.BatchSize))
+	}
+	if cfg.Dist != nil && cfg.Dist.Procs() > shards {
+		panic(fmt.Sprintf("train: %d processes but only %d shards (procs must be <= shards)", cfg.Dist.Procs(), shards))
+	}
+	if cfg.Ctx != nil {
+		m.SetCtx(cfg.Ctx)
+	} else {
+		m.SetThreads(cfg.Threads)
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	perm := make([]int, n)
 	for i := range perm {
 		perm[i] = i
 	}
-	sample := x.Len() / n
-	bx := tensor.New(cfg.BatchSize, sample)
-	by := make([]int, cfg.BatchSize)
 
 	var res Result
 	start := 0
@@ -160,43 +220,61 @@ func Run(m *nn.Model, x *tensor.Tensor, y []int, cfg Config) Result {
 			rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
 		}
 	}
+
+	stepsPerEpoch := n / cfg.BatchSize
+	token := cfg.DistToken
+	if token == "" && cfg.Dist != nil {
+		token = deriveToken(m, &cfg, n, shards)
+	}
+	if cfg.Dist != nil {
+		man := dist.Manifest{
+			Token: token, Procs: cfg.Dist.Procs(), Shards: shards,
+			BatchSize: cfg.BatchSize, Steps: stepsPerEpoch,
+			Epochs: cfg.Epochs, StartEpoch: start, ParamCount: m.NumParams(),
+		}
+		if cfg.Dist.Worker() {
+			got, completed, err := cfg.Dist.AwaitBegin(token)
+			if err != nil {
+				panic(fmt.Sprintf("train: %v", err))
+			}
+			if completed {
+				// The coordinator satisfied this run from cache; there is
+				// nothing to exchange. The caller loads the published state.
+				return Result{DistSkipped: true}
+			}
+			if got != man {
+				panic(fmt.Sprintf("train: dist manifest mismatch: coordinator announced %+v, this rank derived %+v", got, man))
+			}
+		} else if err := cfg.Dist.Begin(man); err != nil {
+			panic(fmt.Sprintf("train: %v", err))
+		}
+	}
+
+	sm := newStepMachine(m, x, y, cfg.BatchSize, shards, cfg.Dist, token)
+	defer sm.close()
+
 	for epoch := start; epoch < cfg.Epochs; epoch++ {
 		// Timing is re-checked per epoch so flipping obs.Enable mid-run
 		// (e.g. from a signal handler) takes effect at the next epoch.
 		timed := cfg.Trace != nil || obs.Enabled()
+		sm.timed = timed
 		if cfg.Schedule != nil {
 			cfg.Optimizer.SetLR(cfg.Schedule(epoch))
 		}
 		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
 		var dataLoss, regLoss float64
-		var tForward, tBackward, tReg, tOptim time.Duration
+		var tReg, tOptim time.Duration
 		var epochStart time.Time
 		if timed {
 			epochStart = time.Now()
 		}
 		steps := 0
 		for lo := 0; lo+cfg.BatchSize <= n; lo += cfg.BatchSize {
-			bs := cfg.BatchSize
-			gather(bx, by, x, y, perm[lo:lo+bs])
-			batch := bx.Reshape(append([]int{bs}, m.InputShape...)...)
-			m.ZeroGrad()
+			loss := sm.step(epoch, steps, perm[lo:lo+cfg.BatchSize])
 
 			var t0 time.Time
 			if timed {
 				t0 = time.Now()
-			}
-			logits := m.ForwardTrain(batch)
-			loss, grad := nn.SoftmaxCrossEntropy(logits, by[:bs])
-			if timed {
-				t1 := time.Now()
-				tForward += t1.Sub(t0)
-				t0 = t1
-			}
-			m.Backward(grad)
-			if timed {
-				t1 := time.Now()
-				tBackward += t1.Sub(t0)
-				t0 = t1
 			}
 			if cfg.Reg != nil {
 				regLoss += cfg.Reg.Apply(m)
@@ -223,8 +301,9 @@ func Run(m *nn.Model, x *tensor.Tensor, y []int, cfg Config) Result {
 		st := EpochStats{
 			Epoch: epoch, DataLoss: dataLoss, RegLoss: regLoss,
 			LR: cfg.Optimizer.LR(), Steps: steps,
-			Forward: tForward, Backward: tBackward, Reg: tReg, Optim: tOptim,
+			Reg: tReg, Optim: tOptim,
 		}
+		st.Forward, st.Backward, st.Exchange, st.Reduce = sm.drainTimings()
 		if gc, ok := cfg.Reg.(groupCorrelated); ok {
 			st.GroupCorr = gc.Correlations()
 		}
@@ -243,6 +322,24 @@ func Run(m *nn.Model, x *tensor.Tensor, y []int, cfg Config) Result {
 	return res
 }
 
+// deriveToken builds a mailbox token for runs without a pipeline cache key:
+// a digest of everything that positions the run's exchange traffic. Every
+// rank of a run derives it from the same configuration, so they meet at the
+// same mailbox keys.
+func deriveToken(m *nn.Model, cfg *Config, n, shards int) string {
+	k := artifact.NewKey("dist-token/v1").
+		Int("seed", cfg.Seed).
+		Int("epochs", int64(cfg.Epochs)).
+		Int("batch", int64(cfg.BatchSize)).
+		Int("shards", int64(shards)).
+		Int("samples", int64(n)).
+		Int("params", int64(m.NumParams()))
+	for _, p := range m.Params() {
+		k.Str("param", p.Name)
+	}
+	return k.Sum()
+}
+
 // recordEpoch folds one epoch's accumulated phase timings into the span
 // tree and the shared metrics registry. Called once per epoch, off the
 // step-granularity hot path.
@@ -251,6 +348,12 @@ func recordEpoch(tr *obs.Tracer, st EpochStats, epochWall time.Duration) {
 	tr.Add("train/epoch", epochWall, 1)
 	tr.Add("train/epoch/forward", st.Forward, steps)
 	tr.Add("train/epoch/backward", st.Backward, steps)
+	if st.Exchange > 0 {
+		tr.Add("train/epoch/exchange", st.Exchange, steps)
+	}
+	if st.Reduce > 0 {
+		tr.Add("train/epoch/reduce", st.Reduce, steps)
+	}
 	if st.Reg > 0 {
 		tr.Add("train/epoch/regularizer", st.Reg, steps)
 	}
